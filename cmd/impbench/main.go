@@ -1,0 +1,65 @@
+// Command impbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	impbench -exp fig9 -cores 64
+//	impbench -exp all -scale 0.5
+//	impbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/impsim/imp"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id (fig1..fig16, table3, storage, ghb) or 'all'")
+		cores     = flag.Int("cores", 64, "core count (16, 64 or 256)")
+		scale     = flag.Float64("scale", 1.0, "input size multiplier")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		verbose   = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range imp.Experiments.IDs() {
+			e, _ := imp.Experiments.Get(id)
+			fmt.Printf("%-8s %s\n", id, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "impbench: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	opt := imp.ExpOptions{Cores: *cores, Scale: *scale}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = imp.Experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := imp.Experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "impbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond*100))
+	}
+}

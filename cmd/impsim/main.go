@@ -1,0 +1,79 @@
+// Command impsim runs one workload on one simulated system configuration
+// and prints the full metric set.
+//
+// Usage:
+//
+//	impsim -workload pagerank -cores 64 -system imp
+//	impsim -print-config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/impsim/imp"
+)
+
+var systems = map[string]imp.System{
+	"base":            imp.SystemBaseline,
+	"imp":             imp.SystemIMP,
+	"imp+partial-noc": imp.SystemIMPPartialNoC,
+	"imp+partial":     imp.SystemIMPPartial,
+	"swpref":          imp.SystemSWPrefetch,
+	"perfpref":        imp.SystemPerfect,
+	"ideal":           imp.SystemIdeal,
+	"ghb":             imp.SystemGHB,
+	"none":            imp.SystemNone,
+}
+
+func main() {
+	var (
+		wl     = flag.String("workload", "pagerank", "workload: "+strings.Join(imp.Workloads(), ", "))
+		cores  = flag.Int("cores", 64, "core count (square)")
+		system = flag.String("system", "imp", "system configuration")
+		scale  = flag.Float64("scale", 1.0, "input size multiplier")
+		ooo    = flag.Bool("ooo", false, "out-of-order cores (32-entry window)")
+		seed   = flag.Int64("seed", 0, "input generation seed (0 = default)")
+		print  = flag.Bool("print-config", false, "print Table 1/2 configuration and exit")
+	)
+	flag.Parse()
+
+	if *print {
+		fmt.Println("Table 1 (system): 1 GHz, in-order single-issue cores; 32KB/4-way L1D;")
+		fmt.Println("  2/sqrt(N) MB per-tile shared L2 (8-way); ACKwise_4 directory;")
+		fmt.Println("  2-D mesh, XY routing, 2-cycle hops, 64-bit flits; sqrt(N) MCs,")
+		fmt.Println("  100ns/10GB-per-MC simple DRAM (DDR3 10-10-10-24 model available).")
+		fmt.Printf("Table 2 (IMP): %+v\n", imp.DefaultIMPParams())
+		fmt.Printf("Storage (6.4): %v\n", imp.StorageCost(false))
+		fmt.Printf("Storage+GP:    %v\n", imp.StorageCost(true))
+		return
+	}
+
+	sys, ok := systems[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "impsim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	res, err := imp.Run(imp.Config{
+		Workload: *wl, Cores: *cores, System: sys, Scale: *scale,
+		OutOfOrder: *ooo, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "impsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s cores=%d system=%s scale=%g\n", *wl, *cores, *system, *scale)
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("instructions  %d (ipc %.3f)\n", res.Instructions, res.Throughput)
+	fmt.Printf("miss fractions: indirect %.2f, stream %.2f, other %.2f\n",
+		res.MissFracIndirect, res.MissFracStream, res.MissFracOther)
+	fmt.Printf("prefetching: coverage %.2f, accuracy %.2f, AMAT %.1f cycles\n",
+		res.Coverage, res.Accuracy, res.AMAT)
+	fmt.Printf("traffic: NoC %d flit-hops, DRAM %d bytes\n", res.NoCFlitHops, res.DRAMBytes)
+	if res.PatternsDetected > 0 {
+		fmt.Printf("IMP: %d primary patterns, %d secondary\n", res.PatternsDetected, res.SecondaryPatterns)
+	}
+}

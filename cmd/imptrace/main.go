@@ -1,0 +1,82 @@
+// Command imptrace generates a workload trace and prints its shape:
+// per-kind access counts, per-core balance, and (optionally) the first
+// records of a core — useful when porting new workloads onto the tracer.
+//
+// Usage:
+//
+//	imptrace -workload graph500 -cores 16 -scale 0.2
+//	imptrace -workload spmv -dump 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/impsim/imp/internal/trace"
+	"github.com/impsim/imp/internal/workload"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "pagerank", "workload: "+strings.Join(workload.Names(), ", "))
+		cores = flag.Int("cores", 64, "core count")
+		scale = flag.Float64("scale", 1.0, "input size multiplier")
+		sw    = flag.Bool("swpref", false, "insert software prefetches")
+		dump  = flag.Int("dump", 0, "dump the first N records of core 0")
+	)
+	flag.Parse()
+
+	p, err := workload.Build(*wl, workload.Options{
+		Cores: *cores, Scale: *scale, SoftwarePrefetch: *sw,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imptrace:", err)
+		os.Exit(1)
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "imptrace: invalid program:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload=%s cores=%d scale=%g swpref=%v\n", *wl, *cores, *scale, *sw)
+	fmt.Printf("footprint     %.2f MB in %d regions\n",
+		float64(p.Space.Footprint())/1e6, len(p.Space.Regions()))
+	for _, r := range p.Space.Regions() {
+		fmt.Printf("  %-12s %10d bytes @ %v\n", r.Name, r.Size(), r.Base)
+	}
+	fmt.Printf("instructions  %d\n", p.TotalInstructions())
+	fmt.Printf("accesses      %d\n", p.TotalAccesses())
+
+	kinds := map[trace.Kind]uint64{}
+	var minA, maxA uint64 = 1 << 62, 0
+	for _, tr := range p.Traces {
+		for k, n := range tr.KindCounts() {
+			kinds[k] += n
+		}
+		a := tr.MemoryAccesses()
+		if a < minA {
+			minA = a
+		}
+		if a > maxA {
+			maxA = a
+		}
+	}
+	total := float64(p.TotalAccesses())
+	fmt.Printf("kinds         indirect %.1f%%, stream %.1f%%, other %.1f%%\n",
+		100*float64(kinds[trace.KindIndirect])/total,
+		100*float64(kinds[trace.KindStream])/total,
+		100*float64(kinds[trace.KindOther])/total)
+	fmt.Printf("balance       min %d / max %d accesses per core\n", minA, maxA)
+
+	if *dump > 0 {
+		fmt.Println("\ncore 0 head:")
+		for i, r := range p.Traces[0].Records {
+			if i >= *dump {
+				break
+			}
+			fmt.Printf("  %4d: %v\n", i, r)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Custom workload: trace your own kernel against the simulator using the
+// internal instrumentation layer (possible inside this module; external
+// users would vendor the packages). The kernel below is a hash-join probe
+// — build side scanned, bucket heads read indirectly — a pattern the paper
+// does not evaluate but IMP captures the same way.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/sim"
+	"github.com/impsim/imp/internal/trace"
+)
+
+func main() {
+	const (
+		cores   = 16
+		keys    = 100_000
+		buckets = 1 << 18
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	// Build the address space: a probe-key array (streamed) holding
+	// precomputed bucket indices, and the bucket-head table (indirect).
+	space := mem.NewSpace()
+	probe := space.AllocInt32("probe_keys", keys)
+	heads := space.AllocInt64("bucket_heads", buckets)
+	for i := range probe.Int32s() {
+		probe.Int32s()[i] = int32(rng.Intn(buckets))
+	}
+
+	// Trace the probe loop on each core: load key, load bucket head,
+	// compare (the classic A[B[i]] shape).
+	const (
+		pcKey  trace.PC = 1
+		pcHead trace.PC = 2
+	)
+	traces := make([]*trace.Trace, cores)
+	for c := 0; c < cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := c*keys/cores, (c+1)*keys/cores
+		for i := lo; i < hi; i++ {
+			tb.Load(pcKey, probe.Addr(i), 4, trace.KindStream)
+			tb.LoadDep(pcHead, heads.Addr(int(probe.Int32s()[i])), 8, trace.KindIndirect)
+			tb.Compute(6)
+		}
+		traces[c] = tb.Trace()
+	}
+	prog := &trace.Program{Space: space, Traces: traces}
+	if err := prog.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, pf := range []sim.PrefetcherKind{sim.PrefetchStream, sim.PrefetchIMP} {
+		cfg := sim.DefaultConfig(cores)
+		cfg.Prefetcher = pf
+		m, err := sim.Run(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %9d cycles | coverage %.2f accuracy %.2f | %s\n",
+			pf, m.Cycles, m.Coverage(), m.Accuracy(), m)
+	}
+}

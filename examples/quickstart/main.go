@@ -1,0 +1,36 @@
+// Quickstart: simulate one workload on the paper's three headline
+// configurations and print the speedups — the fastest way to see IMP work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/impsim/imp"
+)
+
+func main() {
+	// Build the SpMV trace once (16 cores, 20% of benchmark size) and
+	// replay it under three system configurations.
+	prog, err := imp.BuildProgram("spmv", 16, 0.2, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("spmv: %d memory accesses traced\n\n", prog.Accesses())
+
+	systems := []imp.System{imp.SystemBaseline, imp.SystemIMP, imp.SystemPerfect}
+	var base int64
+	for _, sys := range systems {
+		res, err := imp.RunProgram(prog, imp.Config{Cores: 16, System: sys})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sys == imp.SystemBaseline {
+			base = res.Cycles
+		}
+		fmt.Printf("%-10s %9d cycles  speedup %.2fx  coverage %.2f  accuracy %.2f\n",
+			sys, res.Cycles, float64(base)/float64(res.Cycles), res.Coverage, res.Accuracy)
+	}
+
+	fmt.Printf("\nIMP hardware budget: %v\n", imp.StorageCost(false))
+}

@@ -1,0 +1,425 @@
+package imp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExpOptions parameterize an experiment run.
+type ExpOptions struct {
+	// Cores (default 64, the paper's headline configuration).
+	Cores int
+	// Scale multiplies workload input sizes (default 1.0).
+	Scale float64
+	// Workloads restricts the workload set (default: the experiment's own).
+	Workloads []string
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress func(string)
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Cores <= 0 {
+		o.Cores = 64
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt ExpOptions) (*Table, error)
+}
+
+// ExperimentSet is the registry of all reproducible tables and figures.
+type ExperimentSet struct {
+	list []*Experiment
+}
+
+// Experiments holds every table/figure runner, keyed as in DESIGN.md.
+var Experiments = &ExperimentSet{}
+
+// IDs returns the registered experiment ids in definition order.
+func (s *ExperimentSet) IDs() []string {
+	out := make([]string, len(s.list))
+	for i, e := range s.list {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Get returns the experiment with the given id.
+func (s *ExperimentSet) Get(id string) (*Experiment, error) {
+	for _, e := range s.list {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	known := s.IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("imp: unknown experiment %q (have %v)", id, known)
+}
+
+// Run executes the experiment with the given id.
+func (s *ExperimentSet) Run(id string, opt ExpOptions) (*Table, error) {
+	e, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt)
+}
+
+func registerExp(id, title string, run func(opt ExpOptions) (*Table, error)) {
+	Experiments.list = append(Experiments.list, &Experiment{ID: id, Title: title, Run: run})
+}
+
+// runner caches built traces across the configurations of one experiment.
+type runner struct {
+	opt   ExpOptions
+	progs map[string]*Program // key: workload|swpref
+}
+
+func newRunner(opt ExpOptions) *runner {
+	return &runner{opt: opt.withDefaults(), progs: make(map[string]*Program)}
+}
+
+func (r *runner) workloads(def []string) []string {
+	if len(r.opt.Workloads) > 0 {
+		return r.opt.Workloads
+	}
+	return def
+}
+
+func (r *runner) program(name string, swpref bool) (*Program, error) {
+	key := name
+	if swpref {
+		key += "|sw"
+	}
+	if p, ok := r.progs[key]; ok {
+		return p, nil
+	}
+	p, err := BuildProgram(name, r.opt.Cores, r.opt.Scale, swpref, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.progs[key] = p
+	return p, nil
+}
+
+// run simulates workload name under cfg (reusing the cached trace).
+func (r *runner) run(name string, cfg Config) (*Result, error) {
+	cfg.Cores = r.opt.Cores
+	cfg.Scale = r.opt.Scale
+	prog, err := r.program(name, cfg.System == SystemSWPrefetch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunProgram(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.opt.Progress != nil {
+		r.opt.Progress(fmt.Sprintf("%s/%s: %d cycles", name, cfg.System, res.Cycles))
+	}
+	return res, nil
+}
+
+func init() {
+	registerExp("fig1", "L1 cache miss breakdown (indirect / stream / other)", expFig1)
+	registerExp("fig2", "Runtime normalized to Ideal, stall attribution + PerfPref", expFig2)
+	registerExp("fig9", "Performance normalized to Perfect Prefetching (PerfPref/Base/IMP/SWPref)", expFig9)
+	registerExp("table3", "Prefetch coverage / accuracy / latency: stream vs stream+IMP", expTable3)
+	registerExp("fig10", "Instruction overhead of software prefetching (normalized to Base)", expFig10)
+	registerExp("fig11", "Partial cacheline accessing performance (normalized to PerfPref)", expFig11)
+	registerExp("fig12", "NoC and DRAM traffic of partial accessing (normalized to full line)", expFig12)
+	registerExp("fig13", "In-order vs out-of-order cores (normalized to Base on OoO)", expFig13)
+	registerExp("fig14", "Sensitivity to PT size (8/16/32, normalized to 16)", expFig14)
+	registerExp("fig15", "Sensitivity to IPD size (2/4/8, normalized to 4)", expFig15)
+	registerExp("fig16", "Sensitivity to max prefetch distance (4/8/16/32, normalized to 16)", expFig16)
+	registerExp("storage", "IMP storage cost (§6.4)", expStorage)
+	registerExp("ghb", "GHB correlation prefetcher vs stream and IMP (§5.4)", expGHB)
+}
+
+func expFig1(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig1", Title: "miss fraction by access type (Base, stream prefetcher)",
+		Columns: []string{"indirect", "stream", "other"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		res, err := r.run(w, Config{System: SystemBaseline})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w, res.MissFracIndirect, res.MissFracStream, res.MissFracOther)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig2(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig2", Title: "runtime normalized to Ideal",
+		Columns: []string{"indirect", "other", "total", "perfpref"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		ideal, err := r.run(w, Config{System: SystemIdeal})
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.run(w, Config{System: SystemBaseline})
+		if err != nil {
+			return nil, err
+		}
+		perf, err := r.run(w, Config{System: SystemPerfect})
+		if err != nil {
+			return nil, err
+		}
+		norm := float64(base.Cycles) / float64(ideal.Cycles)
+		// Split the normalized runtime by stall attribution.
+		stalls := float64(base.StallIndirect + base.StallOther)
+		indFrac := 0.0
+		if stalls > 0 {
+			// Fraction of time beyond Ideal spent on indirect stalls.
+			indFrac = float64(base.StallIndirect) / stalls
+		}
+		beyond := norm - 1
+		if beyond < 0 {
+			beyond = 0
+		}
+		t.AddRow(w, beyond*indFrac, norm-beyond*indFrac,
+			norm, float64(perf.Cycles)/float64(ideal.Cycles))
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig9(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig9", Title: fmt.Sprintf("normalized throughput, %d cores (PerfPref = 1)", opt.withDefaults().Cores),
+		Columns: []string{"perfpref", "base", "imp", "swpref"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		perf, err := r.run(w, Config{System: SystemPerfect})
+		if err != nil {
+			return nil, err
+		}
+		vals := []float64{1}
+		for _, sys := range []System{SystemBaseline, SystemIMP, SystemSWPrefetch} {
+			res, err := r.run(w, Config{System: sys})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(perf.Cycles)/float64(res.Cycles))
+		}
+		t.AddRow(w, vals...)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expTable3(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "table3", Title: "prefetching effectiveness (latency normalized to PerfPref)",
+		Columns: []string{"str.cov", "str.acc", "str.lat", "imp.cov", "imp.acc", "imp.lat"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		perf, err := r.run(w, Config{System: SystemPerfect})
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.run(w, Config{System: SystemBaseline})
+		if err != nil {
+			return nil, err
+		}
+		impr, err := r.run(w, Config{System: SystemIMP})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w,
+			base.Coverage, base.Accuracy, base.AMAT/perf.AMAT,
+			impr.Coverage, impr.Accuracy, impr.AMAT/perf.AMAT)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig10(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig10", Title: "instruction count normalized to Base",
+		Columns: []string{"base", "imp", "swpref"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		base, err := r.run(w, Config{System: SystemBaseline})
+		if err != nil {
+			return nil, err
+		}
+		impr, err := r.run(w, Config{System: SystemIMP})
+		if err != nil {
+			return nil, err
+		}
+		sw, err := r.run(w, Config{System: SystemSWPrefetch})
+		if err != nil {
+			return nil, err
+		}
+		b := float64(base.Instructions)
+		t.AddRow(w, 1, float64(impr.Instructions)/b, float64(sw.Instructions)/b)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig11(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig11", Title: fmt.Sprintf("partial cacheline accessing, %d cores (normalized to PerfPref)", opt.withDefaults().Cores),
+		Columns: []string{"imp", "partial-noc", "partial-noc+dram", "ideal"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		perf, err := r.run(w, Config{System: SystemPerfect})
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 0, 4)
+		for _, sys := range []System{SystemIMP, SystemIMPPartialNoC, SystemIMPPartial, SystemIdeal} {
+			res, err := r.run(w, Config{System: sys})
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, float64(perf.Cycles)/float64(res.Cycles))
+		}
+		t.AddRow(w, vals...)
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig12(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig12", Title: "NoC and DRAM traffic with partial accessing (normalized to full-line IMP)",
+		Columns: []string{"noc", "dram"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		full, err := r.run(w, Config{System: SystemIMP})
+		if err != nil {
+			return nil, err
+		}
+		part, err := r.run(w, Config{System: SystemIMPPartial})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w,
+			float64(part.NoCFlitHops)/float64(full.NoCFlitHops),
+			float64(part.DRAMBytes)/float64(full.DRAMBytes))
+	}
+	t.AddAverage()
+	return t, nil
+}
+
+func expFig13(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "fig13", Title: "in-order vs out-of-order cores (normalized to Base on OoO)",
+		Columns: []string{"base_io", "base_ooo", "imp_io", "imp_ooo", "partial_io", "partial_ooo"}}
+	for _, w := range r.workloads([]string{"pagerank", "sgd"}) {
+		ref, err := r.run(w, Config{System: SystemBaseline, OutOfOrder: true})
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 0, 6)
+		for _, sys := range []System{SystemBaseline, SystemIMP, SystemIMPPartial} {
+			for _, ooo := range []bool{false, true} {
+				res, err := r.run(w, Config{System: sys, OutOfOrder: ooo})
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, float64(ref.Cycles)/float64(res.Cycles))
+			}
+		}
+		// Reorder to (io, ooo) per system as the columns state.
+		t.AddRow(w, vals...)
+	}
+	return t, nil
+}
+
+func expSensitivity(id, title string, values []int, def int, set func(*Config, int)) func(ExpOptions) (*Table, error) {
+	return func(opt ExpOptions) (*Table, error) {
+		r := newRunner(opt)
+		cols := make([]string, len(values))
+		for i, v := range values {
+			cols[i] = fmt.Sprintf("%d", v)
+		}
+		t := &Table{ID: id, Title: title, Columns: cols,
+			Notes: fmt.Sprintf("normalized to the default value %d", def)}
+		for _, w := range r.workloads(PaperWorkloads()) {
+			var ref *Result
+			results := make([]*Result, len(values))
+			for i, v := range values {
+				cfg := Config{System: SystemIMP}
+				set(&cfg, v)
+				res, err := r.run(w, cfg)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = res
+				if v == def {
+					ref = res
+				}
+			}
+			vals := make([]float64, len(values))
+			for i, res := range results {
+				vals[i] = float64(ref.Cycles) / float64(res.Cycles)
+			}
+			t.AddRow(w, vals...)
+		}
+		t.AddAverage()
+		return t, nil
+	}
+}
+
+func expFig14(opt ExpOptions) (*Table, error) {
+	return expSensitivity("fig14", "PT size sensitivity", []int{8, 16, 32}, 16,
+		func(c *Config, v int) { c.PTEntries = v })(opt)
+}
+
+func expFig15(opt ExpOptions) (*Table, error) {
+	return expSensitivity("fig15", "IPD size sensitivity", []int{2, 4, 8}, 4,
+		func(c *Config, v int) { c.IPDEntries = v })(opt)
+}
+
+func expFig16(opt ExpOptions) (*Table, error) {
+	return expSensitivity("fig16", "max prefetch distance sensitivity", []int{4, 8, 16, 32}, 16,
+		func(c *Config, v int) { c.MaxPrefetchDistance = v })(opt)
+}
+
+func expStorage(opt ExpOptions) (*Table, error) {
+	t := &Table{ID: "storage", Title: "IMP storage cost in bits (§6.4)",
+		Columns: []string{"bits", "per-entry"},
+		Notes:   "paper: PT < 2 Kbit, IPD ~3.5 Kbit, total ~5.5 Kbit (0.7 KB); GP ~3.4 Kbit"}
+	c := StorageCost(false)
+	t.AddRow("PT(indirect)", float64(c.PTBits), float64(c.PTEntryBits))
+	t.AddRow("IPD", float64(c.IPDBits), float64(c.IPDEntryBits))
+	t.AddRow("total", float64(c.TotalBits()), 0)
+	cg := StorageCost(true)
+	t.AddRow("GP", float64(cg.GPBits), float64(cg.GPEntryBits))
+	t.AddRow("total+GP", float64(cg.TotalBits()), 0)
+	return t, nil
+}
+
+func expGHB(opt ExpOptions) (*Table, error) {
+	r := newRunner(opt)
+	t := &Table{ID: "ghb", Title: "GHB adds (almost) nothing over stream on indirect workloads (§5.4)",
+		Columns: []string{"base", "ghb", "imp"}}
+	for _, w := range r.workloads(PaperWorkloads()) {
+		base, err := r.run(w, Config{System: SystemBaseline})
+		if err != nil {
+			return nil, err
+		}
+		ghb, err := r.run(w, Config{System: SystemGHB})
+		if err != nil {
+			return nil, err
+		}
+		impr, err := r.run(w, Config{System: SystemIMP})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w, 1,
+			float64(base.Cycles)/float64(ghb.Cycles),
+			float64(base.Cycles)/float64(impr.Cycles))
+	}
+	t.AddAverage()
+	return t, nil
+}

@@ -1,0 +1,241 @@
+package imp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny keeps API tests fast: 4 cores, 5% inputs.
+var tiny = ExpOptions{Cores: 4, Scale: 0.05}
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(Config{Workload: "pagerank", Cores: 4, Scale: 0.05, System: SystemBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Instructions == 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.MissFracIndirect+res.MissFracStream+res.MissFracOther < 0.99 {
+		t.Errorf("miss fractions do not sum to 1: %+v", res)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run(Config{Workload: "nope", Cores: 4}); err == nil {
+		t.Error("accepted unknown workload")
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	if _, err := Run(Config{Workload: "dense", Cores: 4, Scale: 0.05, System: System(99)}); err == nil {
+		t.Error("accepted unknown system")
+	}
+}
+
+func TestSystemsOrdering(t *testing.T) {
+	prog, err := BuildProgram("spmv", 4, 0.05, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[System]int64{}
+	for _, sys := range []System{SystemIdeal, SystemPerfect, SystemIMP, SystemBaseline, SystemNone} {
+		res, err := RunProgram(prog, Config{Cores: 4, System: sys})
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		cycles[sys] = res.Cycles
+	}
+	if !(cycles[SystemIdeal] <= cycles[SystemPerfect]) {
+		t.Errorf("ideal (%d) > perfect (%d)", cycles[SystemIdeal], cycles[SystemPerfect])
+	}
+	if !(cycles[SystemIMP] <= cycles[SystemBaseline]) {
+		t.Errorf("imp (%d) > base (%d)", cycles[SystemIMP], cycles[SystemBaseline])
+	}
+	if !(cycles[SystemBaseline] <= cycles[SystemNone]) {
+		t.Errorf("base (%d) > none (%d)", cycles[SystemBaseline], cycles[SystemNone])
+	}
+}
+
+func TestProgramReuseMatchesDirectRun(t *testing.T) {
+	prog, err := BuildProgram("lsh", 4, 0.05, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunProgram(prog, Config{Cores: 4, System: SystemIMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Workload: "lsh", Cores: 4, Scale: 0.05, System: SystemIMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("cached program run (%d) differs from direct run (%d)", a.Cycles, b.Cycles)
+	}
+	if prog.Accesses() == 0 || prog.Instructions() == 0 {
+		t.Error("program accessors returned zero")
+	}
+}
+
+func TestIMPParamOverrides(t *testing.T) {
+	prog, err := BuildProgram("spmv", 4, 0.05, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := RunProgram(prog, Config{Cores: 4, System: SystemIMP, MaxPrefetchDistance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunProgram(prog, Config{Cores: 4, System: SystemIMP, MaxPrefetchDistance: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Cycles == big.Cycles {
+		t.Log("distance 2 and 16 gave identical cycles (possible on tiny inputs)")
+	}
+	if small.PatternsDetected == 0 || big.PatternsDetected == 0 {
+		t.Error("IMP detected no patterns with overridden parameters")
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	if len(Workloads()) != 8 || len(PaperWorkloads()) != 7 {
+		t.Errorf("Workloads() = %v", Workloads())
+	}
+}
+
+func TestStorageCostAPI(t *testing.T) {
+	c := StorageCost(false)
+	if c.TotalBits() < 4500 || c.TotalBits() > 6500 {
+		t.Errorf("storage = %d bits, want ~5.5Kbit", c.TotalBits())
+	}
+	if StorageCost(true).GPBits == 0 {
+		t.Error("partial storage missing GP bits")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig9", "table3", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "storage", "ghb"}
+	got := Experiments.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("IDs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := Experiments.Get("nope"); err == nil {
+		t.Error("Get accepted unknown id")
+	}
+	if _, err := Experiments.Run("nope", tiny); err == nil {
+		t.Error("Run accepted unknown id")
+	}
+}
+
+func TestExperimentStorage(t *testing.T) {
+	tbl, err := Experiments.Run("storage", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Errorf("storage rows = %d, want 5", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "PT") {
+		t.Error("storage table missing PT row")
+	}
+}
+
+func TestExperimentFig1Tiny(t *testing.T) {
+	tbl, err := Experiments.Run("fig1", ExpOptions{Cores: 4, Scale: 0.05, Workloads: []string{"spmv", "pagerank"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads + avg row.
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		sum := 0.0
+		for _, v := range r.Values {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: fraction %v out of range", r.Label, v)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: fractions sum to %v", r.Label, sum)
+		}
+	}
+}
+
+func TestExperimentFig9Tiny(t *testing.T) {
+	tbl, err := Experiments.Run("fig9", ExpOptions{Cores: 4, Scale: 0.05, Workloads: []string{"spmv"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Rows[0]
+	if r.Values[0] != 1 {
+		t.Errorf("perfpref column = %v, want 1 (normalization anchor)", r.Values[0])
+	}
+	// IMP must beat base on spmv.
+	if r.Values[2] <= r.Values[1] {
+		t.Errorf("imp (%v) not above base (%v)", r.Values[2], r.Values[1])
+	}
+}
+
+func TestExperimentFig12Tiny(t *testing.T) {
+	tbl, err := Experiments.Run("fig12", ExpOptions{Cores: 4, Scale: 0.05, Workloads: []string{"pagerank"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tbl.Rows[0].Values {
+		if v <= 0 || v > 1.6 {
+			t.Errorf("traffic ratio %v out of plausible range", v)
+		}
+	}
+}
+
+func TestExperimentSensitivityTiny(t *testing.T) {
+	tbl, err := Experiments.Run("fig16", ExpOptions{Cores: 4, Scale: 0.05, Workloads: []string{"spmv"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Columns) != 4 {
+		t.Fatalf("columns = %v", tbl.Columns)
+	}
+	// The default (16) column must be exactly 1.
+	if tbl.Rows[0].Values[2] != 1 {
+		t.Errorf("default distance not normalized to 1: %v", tbl.Rows[0].Values)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow("row1", 1, 2)
+	tbl.AddRow("row2", 3, 4)
+	tbl.AddAverage()
+	s := tbl.String()
+	if !strings.Contains(s, "row1") || !strings.Contains(s, "avg") {
+		t.Errorf("bad table output:\n%s", s)
+	}
+	if tbl.Rows[2].Values[0] != 2 || tbl.Rows[2].Values[1] != 3 {
+		t.Errorf("average row = %v", tbl.Rows[2].Values)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var lines []string
+	_, err := Experiments.Run("fig1", ExpOptions{
+		Cores: 4, Scale: 0.05, Workloads: []string{"dense"},
+		Progress: func(s string) { lines = append(lines, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Error("no progress lines")
+	}
+}

@@ -1,0 +1,330 @@
+// Package cache implements the set-associative sector caches used for both
+// L1 and the distributed L2 slices.
+//
+// Lines carry per-sector valid bits (§4.1 of the paper): a full-line cache
+// is simply a sector cache with one 64-byte sector. Lines also carry a fill
+// timestamp so the simulator can model late prefetches (a demand access to a
+// line whose fill is still in flight stalls only for the residual latency),
+// plus prefetched/used bits for accuracy accounting and an 8-byte-granular
+// touch vector feeding IMP's Granularity Predictor.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+// State is the coherence state of a line. The directory protocol is MSI;
+// Exclusive is folded into Modified as is conventional for simple models.
+type State uint8
+
+// Line states.
+const (
+	Invalid State = iota
+	Shared
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return "I"
+	}
+}
+
+// SectorMask is a bitmask over the sectors of one line, bit i covering
+// bytes [i*sectorBytes, (i+1)*sectorBytes).
+type SectorMask uint8
+
+// FullMask returns the mask covering all sectors of a line with the given
+// sector size.
+func FullMask(sectorBytes int) SectorMask {
+	n := mem.LineSize / sectorBytes
+	return SectorMask(1<<n - 1)
+}
+
+// MaskForRange returns the sector mask covering bytes
+// [offset, offset+size) of a line.
+func MaskForRange(offset, size uint64, sectorBytes int) SectorMask {
+	if size == 0 {
+		size = 1
+	}
+	lo := offset / uint64(sectorBytes)
+	hi := (offset + size - 1) / uint64(sectorBytes)
+	var m SectorMask
+	for i := lo; i <= hi && i < uint64(mem.LineSize/sectorBytes); i++ {
+		m |= 1 << i
+	}
+	return m
+}
+
+// Count returns the number of sectors in the mask.
+func (m SectorMask) Count() int { return bits.OnesCount8(uint8(m)) }
+
+// Line is one cache frame. Fields are exported so the simulator and the
+// Granularity Predictor can inspect evicted lines.
+type Line struct {
+	Tag        uint64 // line id (address >> 6); meaningful only when State != Invalid
+	State      State
+	Valid      SectorMask
+	FillTime   int64 // cycle at which the most recent fill completes
+	Prefetched bool  // brought in by a prefetch and not yet demand-touched
+	Used       bool  // demand-touched since fill
+	Touch      uint8 // 8-byte words touched by demand accesses since fill
+	lru        uint64
+}
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes   int // total capacity
+	Ways        int
+	SectorBytes int // 64 for a conventional cache; 8 (L1) or 32 (L2) sectored
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive size or ways: %+v", c)
+	}
+	if c.SizeBytes%(c.Ways*mem.LineSize) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*linesize", c.SizeBytes)
+	}
+	switch c.SectorBytes {
+	case 8, 16, 32, 64:
+	default:
+		return fmt.Errorf("cache: unsupported sector size %d", c.SectorBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * mem.LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// LookupResult describes the outcome of a cache access.
+type LookupResult int
+
+// Lookup outcomes.
+const (
+	// Miss: the line is not present at all.
+	Miss LookupResult = iota
+	// SectorMiss: the line is present but one or more requested sectors are
+	// invalid (partial-line caches only).
+	SectorMiss
+	// Hit: line present with all requested sectors valid.
+	Hit
+)
+
+func (r LookupResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case SectorMiss:
+		return "sector-miss"
+	default:
+		return "miss"
+	}
+}
+
+// Cache is a single set-associative sector cache. It is not safe for
+// concurrent use; the simulator serializes accesses.
+type Cache struct {
+	cfg      Config
+	sets     [][]Line
+	setMask  uint64
+	fullMask SectorMask
+	clock    uint64
+}
+
+// New builds a cache from cfg; it panics on invalid configuration, which is
+// a programming error in experiment setup.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * mem.LineSize)
+	sets := make([][]Line, numSets)
+	frames := make([]Line, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], frames = frames[:cfg.Ways], frames[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(numSets - 1),
+		fullMask: FullMask(cfg.SectorBytes),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+// SectorsPerLine returns the number of sectors in each line.
+func (c *Cache) SectorsPerLine() int { return mem.LineSize / c.cfg.SectorBytes }
+
+// FullMask returns the all-sectors mask for this cache.
+func (c *Cache) FullMask() SectorMask { return c.fullMask }
+
+// MaskFor returns the sector mask an access of size bytes at addr needs.
+func (c *Cache) MaskFor(addr mem.Addr, size int) SectorMask {
+	return MaskForRange(addr.Offset(), uint64(size), c.cfg.SectorBytes)
+}
+
+func (c *Cache) set(lineID uint64) []Line { return c.sets[lineID&c.setMask] }
+
+// find returns the frame holding lineID, or nil.
+func (c *Cache) find(lineID uint64) *Line {
+	set := c.set(lineID)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == lineID {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Probe returns the frame holding lineID without updating replacement
+// state, or nil if absent.
+func (c *Cache) Probe(lineID uint64) *Line { return c.find(lineID) }
+
+// Lookup accesses the sectors in need of lineID, updating LRU on presence.
+// It reports the outcome and the frame (nil on Miss). For a write
+// (needStore), a Shared line reports SectorMiss semantics via the
+// upgradeNeeded result instead; callers check State themselves, so Lookup
+// only concerns data presence.
+func (c *Cache) Lookup(lineID uint64, need SectorMask) (LookupResult, *Line) {
+	ln := c.find(lineID)
+	if ln == nil {
+		return Miss, nil
+	}
+	c.clock++
+	ln.lru = c.clock
+	if ln.Valid&need != need {
+		return SectorMiss, ln
+	}
+	return Hit, ln
+}
+
+// MarkDemandUse records a demand access of the 8-byte words covering
+// [offset, offset+size) on a line: sets Used, clears the
+// not-yet-demand-touched prefetch marker, and accumulates the touch vector.
+// It returns true if this was the first demand touch of a prefetched line
+// (the event accuracy accounting counts as a "useful prefetch").
+func MarkDemandUse(ln *Line, offset, size uint64) (firstUseOfPrefetch bool) {
+	if size == 0 {
+		size = 1
+	}
+	lo := offset / 8
+	hi := (offset + size - 1) / 8
+	for i := lo; i <= hi && i < 8; i++ {
+		ln.Touch |= 1 << i
+	}
+	firstUseOfPrefetch = ln.Prefetched && !ln.Used
+	ln.Used = true
+	return firstUseOfPrefetch
+}
+
+// Eviction describes a line displaced by Insert.
+type Eviction struct {
+	LineID     uint64
+	State      State
+	Valid      SectorMask
+	Prefetched bool // was prefetched and never demand-used
+	Used       bool
+	Touch      uint8
+}
+
+// Insert places lineID with the given sectors, state and fill time,
+// evicting the LRU frame if the set is full. If the line is already
+// present, the sectors and state are merged instead (a sector fill) and the
+// fill time advances to the later of the two.
+// The returned eviction has State != Invalid only when a valid line was
+// displaced.
+func (c *Cache) Insert(lineID uint64, sectors SectorMask, st State, fillTime int64, prefetched bool) Eviction {
+	if ln := c.find(lineID); ln != nil {
+		ln.Valid |= sectors
+		if st > ln.State {
+			ln.State = st
+		}
+		if fillTime > ln.FillTime {
+			ln.FillTime = fillTime
+		}
+		c.clock++
+		ln.lru = c.clock
+		return Eviction{}
+	}
+	set := c.set(lineID)
+	victim := &set[0]
+	for i := range set {
+		if set[i].State == Invalid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	ev := Eviction{}
+	if victim.State != Invalid {
+		ev = Eviction{
+			LineID:     victim.Tag,
+			State:      victim.State,
+			Valid:      victim.Valid,
+			Prefetched: victim.Prefetched && !victim.Used,
+			Used:       victim.Used,
+			Touch:      victim.Touch,
+		}
+	}
+	c.clock++
+	*victim = Line{
+		Tag: lineID, State: st, Valid: sectors, FillTime: fillTime,
+		Prefetched: prefetched, lru: c.clock,
+	}
+	return ev
+}
+
+// Invalidate removes lineID (coherence invalidation). It returns the line's
+// prior state (Invalid if it was not present) and whether the line was a
+// never-used prefetch.
+func (c *Cache) Invalidate(lineID uint64) (State, bool) {
+	ln := c.find(lineID)
+	if ln == nil {
+		return Invalid, false
+	}
+	st := ln.State
+	wasted := ln.Prefetched && !ln.Used
+	*ln = Line{}
+	return st, wasted
+}
+
+// Downgrade moves lineID from Modified to Shared (directory recall),
+// reporting whether the line was present and modified.
+func (c *Cache) Downgrade(lineID uint64) bool {
+	ln := c.find(lineID)
+	if ln == nil || ln.State != Modified {
+		return false
+	}
+	ln.State = Shared
+	return true
+}
+
+// ForEachValid calls fn for every valid line. Used by tests and end-of-run
+// accuracy accounting (prefetched lines still resident count as unused).
+func (c *Cache) ForEachValid(fn func(*Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].State != Invalid {
+				fn(&c.sets[s][w])
+			}
+		}
+	}
+}

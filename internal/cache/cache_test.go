@@ -1,0 +1,279 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+func smallCache(t *testing.T, sectorBytes int) *Cache {
+	t.Helper()
+	return New(Config{SizeBytes: 4 * 1024, Ways: 4, SectorBytes: sectorBytes})
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{32 * 1024, 4, 64},
+		{32 * 1024, 4, 8},
+		{256 * 1024, 8, 32},
+		{4 * 1024, 1, 64},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{0, 4, 64},
+		{32 * 1024, 0, 64},
+		{32 * 1024, 4, 7},
+		{32 * 1024, 4, 128},
+		{100, 4, 64},        // not divisible
+		{3 * 64 * 4, 4, 64}, // 3 sets: not a power of two
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestMaskForRange(t *testing.T) {
+	cases := []struct {
+		offset, size uint64
+		sectorBytes  int
+		want         SectorMask
+	}{
+		{0, 4, 64, 0b1},
+		{60, 4, 64, 0b1},
+		{0, 8, 8, 0b0000_0001},
+		{8, 8, 8, 0b0000_0010},
+		{56, 8, 8, 0b1000_0000},
+		{4, 8, 8, 0b0000_0011}, // straddles two 8B sectors
+		{0, 64, 8, 0b1111_1111},
+		{0, 1, 32, 0b01},
+		{32, 1, 32, 0b10},
+		{31, 2, 32, 0b11},
+	}
+	for _, c := range cases {
+		if got := MaskForRange(c.offset, c.size, c.sectorBytes); got != c.want {
+			t.Errorf("MaskForRange(%d,%d,%d) = %08b, want %08b",
+				c.offset, c.size, c.sectorBytes, got, c.want)
+		}
+	}
+}
+
+func TestFullMask(t *testing.T) {
+	if FullMask(64) != 0b1 {
+		t.Error("FullMask(64) != 1 bit")
+	}
+	if FullMask(32) != 0b11 {
+		t.Error("FullMask(32) != 2 bits")
+	}
+	if FullMask(8) != 0xFF {
+		t.Error("FullMask(8) != 8 bits")
+	}
+}
+
+func TestMissInsertHit(t *testing.T) {
+	c := smallCache(t, 64)
+	res, _ := c.Lookup(100, c.FullMask())
+	if res != Miss {
+		t.Fatalf("initial lookup = %v, want miss", res)
+	}
+	if ev := c.Insert(100, c.FullMask(), Shared, 50, false); ev.State != Invalid {
+		t.Fatalf("insert into empty set evicted %+v", ev)
+	}
+	res, ln := c.Lookup(100, c.FullMask())
+	if res != Hit || ln == nil {
+		t.Fatalf("lookup after insert = %v", res)
+	}
+	if ln.FillTime != 50 || ln.State != Shared {
+		t.Errorf("line metadata = %+v", ln)
+	}
+}
+
+func TestSectorMissAndMergeFill(t *testing.T) {
+	c := smallCache(t, 8)
+	low := MaskForRange(0, 8, 8)
+	high := MaskForRange(56, 8, 8)
+	c.Insert(7, low, Shared, 10, true)
+
+	if res, _ := c.Lookup(7, low); res != Hit {
+		t.Errorf("low sector lookup = %v, want hit", res)
+	}
+	res, ln := c.Lookup(7, high)
+	if res != SectorMiss || ln == nil {
+		t.Fatalf("high sector lookup = %v, want sector-miss with frame", res)
+	}
+	// Merge the missing sector in; both must now hit and fill time advances.
+	if ev := c.Insert(7, high, Shared, 99, false); ev.State != Invalid {
+		t.Fatalf("merge fill evicted %+v", ev)
+	}
+	if res, _ := c.Lookup(7, low|high); res != Hit {
+		t.Errorf("combined lookup after merge = %v, want hit", res)
+	}
+	if ln.FillTime != 99 {
+		t.Errorf("merge fill time = %d, want 99", ln.FillTime)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := smallCache(t, 64) // 4KB/4way/64B = 16 sets
+	sets := uint64(c.NumSets())
+	// Fill all 4 ways of set 0 with lines 0, 16, 32, 48 (same set index).
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(i*sets, c.FullMask(), Shared, 0, false)
+	}
+	// Touch line 0 to make line 16 (=sets) the LRU.
+	c.Lookup(0, c.FullMask())
+	ev := c.Insert(4*sets, c.FullMask(), Shared, 0, false)
+	if ev.State == Invalid || ev.LineID != sets {
+		t.Errorf("evicted %+v, want line %d", ev, sets)
+	}
+	if res, _ := c.Lookup(0, c.FullMask()); res != Hit {
+		t.Error("recently used line was evicted")
+	}
+}
+
+func TestEvictionReportsPrefetchWaste(t *testing.T) {
+	c := smallCache(t, 64)
+	sets := uint64(c.NumSets())
+	c.Insert(0, c.FullMask(), Shared, 0, true) // prefetched, never used
+	for i := uint64(1); i <= 4; i++ {
+		c.Insert(i*sets, c.FullMask(), Shared, 0, false)
+	}
+	// Line 0 must have been evicted; re-insert to confirm it is gone.
+	if res, _ := c.Lookup(0, c.FullMask()); res != Miss {
+		t.Fatal("line 0 should have been evicted")
+	}
+}
+
+func TestMarkDemandUse(t *testing.T) {
+	ln := &Line{Prefetched: true}
+	first := MarkDemandUse(ln, 8, 8)
+	if !first {
+		t.Error("first touch of prefetched line must report first use")
+	}
+	if ln.Touch != 0b0000_0010 {
+		t.Errorf("touch vector = %08b, want word 1", ln.Touch)
+	}
+	second := MarkDemandUse(ln, 0, 4)
+	if second {
+		t.Error("second touch must not report first use")
+	}
+	if ln.Touch != 0b0000_0011 {
+		t.Errorf("touch vector = %08b, want words 0..1", ln.Touch)
+	}
+	// A 16-byte access spanning words 6..7.
+	MarkDemandUse(ln, 48, 16)
+	if ln.Touch != 0b1100_0011 {
+		t.Errorf("touch vector = %08b, want words 0,1,6,7", ln.Touch)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := smallCache(t, 64)
+	c.Insert(5, c.FullMask(), Modified, 0, true)
+	st, wasted := c.Invalidate(5)
+	if st != Modified || !wasted {
+		t.Errorf("Invalidate = (%v, %v), want (M, true)", st, wasted)
+	}
+	if res, _ := c.Lookup(5, c.FullMask()); res != Miss {
+		t.Error("line still present after invalidate")
+	}
+	if st, _ := c.Invalidate(5); st != Invalid {
+		t.Error("double invalidate must report Invalid")
+	}
+}
+
+func TestDowngrade(t *testing.T) {
+	c := smallCache(t, 64)
+	c.Insert(5, c.FullMask(), Modified, 0, false)
+	if !c.Downgrade(5) {
+		t.Error("Downgrade of M line must report true")
+	}
+	_, ln := c.Lookup(5, c.FullMask())
+	if ln.State != Shared {
+		t.Errorf("state after downgrade = %v, want S", ln.State)
+	}
+	if c.Downgrade(5) {
+		t.Error("Downgrade of S line must report false")
+	}
+	if c.Downgrade(999) {
+		t.Error("Downgrade of absent line must report false")
+	}
+}
+
+func TestInsertUpgradesState(t *testing.T) {
+	c := smallCache(t, 64)
+	c.Insert(9, c.FullMask(), Shared, 0, false)
+	c.Insert(9, c.FullMask(), Modified, 0, false)
+	_, ln := c.Lookup(9, c.FullMask())
+	if ln.State != Modified {
+		t.Errorf("state = %v, want M after upgrade insert", ln.State)
+	}
+	// Re-inserting Shared must not downgrade.
+	c.Insert(9, c.FullMask(), Shared, 0, false)
+	if ln.State != Modified {
+		t.Errorf("state = %v, M must not be downgraded by S insert", ln.State)
+	}
+}
+
+func TestForEachValidCounts(t *testing.T) {
+	c := smallCache(t, 64)
+	for i := uint64(0); i < 10; i++ {
+		c.Insert(i, c.FullMask(), Shared, 0, false)
+	}
+	n := 0
+	c.ForEachValid(func(*Line) { n++ })
+	if n != 10 {
+		t.Errorf("valid lines = %d, want 10", n)
+	}
+}
+
+// TestInclusionProperty checks that a cache never holds two frames with the
+// same tag and that occupancy never exceeds capacity, under random traffic.
+func TestInclusionProperty(t *testing.T) {
+	c := smallCache(t, 8)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			id := uint64(op % 512)
+			sector := SectorMask(1 << (op % 8))
+			if op%3 == 0 {
+				c.Insert(id, sector, Shared, int64(op), op%5 == 0)
+			} else {
+				c.Lookup(id, sector)
+			}
+		}
+		seen := make(map[uint64]int)
+		total := 0
+		c.ForEachValid(func(ln *Line) {
+			seen[ln.Tag]++
+			total++
+			if ln.Valid == 0 {
+				t.Errorf("valid line with empty sector mask: %+v", ln)
+			}
+		})
+		for id, n := range seen {
+			if n > 1 {
+				t.Errorf("line %d present in %d frames", id, n)
+				return false
+			}
+		}
+		return total <= c.NumSets()*c.Config().Ways
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskForAddrHelper(t *testing.T) {
+	c := smallCache(t, 8)
+	// Address at byte 20 of its line, 8-byte access: sectors 2 and 3.
+	a := mem.Addr(64*100 + 20)
+	if got := c.MaskFor(a, 8); got != 0b0000_1100 {
+		t.Errorf("MaskFor = %08b, want 00001100", got)
+	}
+}

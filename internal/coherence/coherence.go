@@ -1,0 +1,271 @@
+// Package coherence implements the directory protocol of Table 1: an
+// ACKwise_k limited directory (Kurian et al. [19]) co-located with each L2
+// home slice. Up to k sharers are tracked precisely; beyond that the
+// directory keeps only a count and broadcasts invalidations, collecting
+// exactly as many acks as there are actual sharers.
+//
+// The directory computes *what must happen* (which cores to invalidate or
+// downgrade); the simulator turns that into NoC messages and latency.
+package coherence
+
+import "fmt"
+
+// DefaultK is the ACKwise sharer-tracking limit used in the paper.
+const DefaultK = 4
+
+// DirState is the directory-side state of a line.
+type DirState uint8
+
+// Directory states.
+const (
+	Uncached DirState = iota
+	SharedBy          // one or more L1s hold the line in S
+	OwnedBy           // exactly one L1 holds the line in M
+)
+
+func (s DirState) String() string {
+	switch s {
+	case SharedBy:
+		return "Shared"
+	case OwnedBy:
+		return "Owned"
+	default:
+		return "Uncached"
+	}
+}
+
+// Entry is one directory line's bookkeeping.
+type Entry struct {
+	State    DirState
+	sharers  []int16 // precise sharer list, len <= k
+	count    int     // true sharer count (>= len(sharers) when overflowed)
+	overflow bool    // sharer set exceeded k: invalidations broadcast
+	owner    int16   // valid when State == OwnedBy
+}
+
+// Sharers returns the number of sharers the directory believes exist.
+func (e *Entry) Sharers() int { return e.count }
+
+// Overflowed reports whether the precise sharer list overflowed.
+func (e *Entry) Overflowed() bool { return e.overflow }
+
+// Action describes the coherence work a request triggers. The simulator
+// sends one invalidation message per entry of Invalidate (or a broadcast to
+// all other cores when Broadcast is set), waits for Acks acknowledgements,
+// and downgrades/flushes DowngradeOwner if it is >= 0.
+type Action struct {
+	Invalidate     []int // precise cores to invalidate
+	Broadcast      bool  // ACKwise overflow: invalidate all cores except requester
+	Acks           int   // acknowledgements to collect
+	DowngradeOwner int   // core holding the line in M that must downgrade (-1 none)
+	WritebackDirty bool  // the owner's copy was dirty and must reach L2
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	Reads             uint64
+	Writes            uint64
+	InvalidationsSent uint64
+	Broadcasts        uint64
+	Downgrades        uint64
+}
+
+// Directory tracks every line resident in one (or all) L2 slice(s). Entries
+// are created on first use and dropped on L2 eviction.
+type Directory struct {
+	k        int
+	numCores int
+	entries  map[uint64]*Entry
+	stats    Stats
+}
+
+// New returns a directory with ACKwise_k tracking for numCores cores.
+func New(k, numCores int) *Directory {
+	if k <= 0 || numCores <= 0 {
+		panic(fmt.Sprintf("coherence: invalid directory (k=%d cores=%d)", k, numCores))
+	}
+	return &Directory{k: k, numCores: numCores, entries: make(map[uint64]*Entry)}
+}
+
+// Stats returns a copy of the counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// Entry returns the directory entry for lineID, or nil.
+func (d *Directory) Entry(lineID uint64) *Entry { return d.entries[lineID] }
+
+func (d *Directory) entry(lineID uint64) *Entry {
+	e := d.entries[lineID]
+	if e == nil {
+		e = &Entry{owner: -1}
+		d.entries[lineID] = e
+	}
+	return e
+}
+
+func (e *Entry) hasSharer(core int) bool {
+	for _, s := range e.sharers {
+		if int(s) == core {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Entry) addSharer(core, k int) {
+	if e.hasSharer(core) {
+		return
+	}
+	e.count++
+	if len(e.sharers) < k {
+		e.sharers = append(e.sharers, int16(core))
+		return
+	}
+	e.overflow = true
+}
+
+func (e *Entry) removeSharer(core int) {
+	for i, s := range e.sharers {
+		if int(s) == core {
+			e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
+			if e.count > 0 {
+				e.count--
+			}
+			return
+		}
+	}
+	// Not tracked precisely: decrement the count if overflowed.
+	if e.overflow && e.count > len(e.sharers) {
+		e.count--
+	}
+}
+
+// Read records core fetching the line in Shared state and returns the
+// action required first (downgrading a remote owner, if any).
+func (d *Directory) Read(lineID uint64, core int) Action {
+	d.stats.Reads++
+	e := d.entry(lineID)
+	act := Action{DowngradeOwner: -1}
+	if e.State == OwnedBy && int(e.owner) == core {
+		// The owner reads its own modified line: an L1 hit; no state change.
+		return act
+	}
+	if e.State == OwnedBy {
+		act.DowngradeOwner = int(e.owner)
+		act.WritebackDirty = true
+		d.stats.Downgrades++
+		// Owner becomes a sharer; the owned line counted its owner, so
+		// reset before rebuilding the sharer set.
+		prev := int(e.owner)
+		e.State = SharedBy
+		e.owner = -1
+		e.count = 0
+		e.sharers = e.sharers[:0]
+		e.overflow = false
+		e.addSharer(prev, d.k)
+	}
+	if e.State == Uncached {
+		e.State = SharedBy
+	}
+	e.addSharer(core, d.k)
+	return act
+}
+
+// Write records core fetching the line for writing (Modified) and returns
+// the invalidations required.
+func (d *Directory) Write(lineID uint64, core int) Action {
+	d.stats.Writes++
+	e := d.entry(lineID)
+	act := Action{DowngradeOwner: -1}
+	switch e.State {
+	case OwnedBy:
+		if int(e.owner) != core {
+			act.DowngradeOwner = int(e.owner)
+			act.WritebackDirty = true
+			act.Invalidate = []int{int(e.owner)}
+			act.Acks = 1
+			d.stats.InvalidationsSent++
+		}
+	case SharedBy:
+		if e.overflow {
+			act.Broadcast = true
+			act.Acks = e.count
+			if e.hasSharer(core) {
+				// The requester does not ack itself. When the requester is a
+				// sharer the directory stopped tracking (overflow), the extra
+				// ack is a small over-count the protocol tolerates.
+				act.Acks--
+			}
+			d.stats.Broadcasts++
+			d.stats.InvalidationsSent += uint64(d.numCores - 1)
+		} else {
+			for _, s := range e.sharers {
+				if int(s) != core {
+					act.Invalidate = append(act.Invalidate, int(s))
+				}
+			}
+			act.Acks = len(act.Invalidate)
+			d.stats.InvalidationsSent += uint64(len(act.Invalidate))
+		}
+	}
+	e.State = OwnedBy
+	e.owner = int16(core)
+	e.sharers = e.sharers[:0]
+	e.count = 1
+	e.overflow = false
+	return act
+}
+
+// EvictL1 records that core silently dropped its copy (L1 eviction notice),
+// keeping the sharer list precise where possible.
+func (d *Directory) EvictL1(lineID uint64, core int) {
+	e := d.entries[lineID]
+	if e == nil {
+		return
+	}
+	if e.State == OwnedBy && int(e.owner) == core {
+		e.State = Uncached
+		e.owner = -1
+		e.count = 0
+		return
+	}
+	e.removeSharer(core)
+	if e.count == 0 {
+		e.State = Uncached
+		e.overflow = false
+	}
+}
+
+// EvictL2 removes the directory entry (the home L2 slice evicted the line)
+// and returns the action needed to recall all cached copies.
+func (d *Directory) EvictL2(lineID uint64) Action {
+	e := d.entries[lineID]
+	act := Action{DowngradeOwner: -1}
+	if e == nil {
+		return act
+	}
+	switch e.State {
+	case OwnedBy:
+		act.Invalidate = []int{int(e.owner)}
+		act.Acks = 1
+		act.WritebackDirty = true
+		d.stats.InvalidationsSent++
+	case SharedBy:
+		if e.overflow {
+			act.Broadcast = true
+			act.Acks = e.count
+			d.stats.Broadcasts++
+			d.stats.InvalidationsSent += uint64(d.numCores)
+		} else {
+			for _, s := range e.sharers {
+				act.Invalidate = append(act.Invalidate, int(s))
+			}
+			act.Acks = len(act.Invalidate)
+			d.stats.InvalidationsSent += uint64(len(act.Invalidate))
+		}
+	}
+	delete(d.entries, lineID)
+	return act
+}
+
+// Lines returns the number of tracked lines (for tests).
+func (d *Directory) Lines() int { return len(d.entries) }

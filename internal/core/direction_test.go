@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// TestDescendingStreamDetection covers SymGS's backward sweep: the index
+// array is scanned in decreasing address order and the indirect pattern
+// must still be detected and prefetched ahead (downward).
+func TestDescendingStreamDetection(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(128, 1<<18)
+	b, a := buildAB(h, idx, 1<<18)
+
+	for i := 100; i >= 40; i-- {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 8, false)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e == nil || !e.enabled {
+		t.Fatal("no pattern detected on a descending scan")
+	}
+	if e.dir != -1 {
+		t.Fatalf("direction = %d, want -1", e.dir)
+	}
+	// Earlier (lower-index) targets must have been prefetched before use.
+	covered := 0
+	for i := 60; i > 45; i-- {
+		if h.hasPrefetchFor(a.Addr(int(idx[i]))) {
+			covered++
+		}
+	}
+	if covered < 10 {
+		t.Errorf("descending coverage %d/15", covered)
+	}
+	if h.m.Stats().IndirectPrefetches == 0 {
+		t.Error("no indirect prefetches on a descending stream")
+	}
+}
+
+// TestDirectionReversalRetrains covers the forward-then-backward sweep
+// boundary: reversing direction must not wedge the stream entry.
+func TestDirectionReversalRetrains(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(128, 1<<18)
+	b, a := buildAB(h, idx, 1<<18)
+
+	drive(h, b, a, 40) // forward
+	fwd := h.m.Stats().IndirectPrefetches
+	if fwd == 0 {
+		t.Fatal("setup: no forward prefetching")
+	}
+	// Backward sweep from the end.
+	for i := 120; i >= 60; i-- {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 8, false)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e.dir != -1 {
+		t.Fatalf("direction after reversal = %d, want -1", e.dir)
+	}
+	if got := h.m.Stats().IndirectPrefetches; got <= fwd {
+		t.Error("no indirect prefetches after direction reversal")
+	}
+}
+
+// TestIMPReadsThroughMemoryImage pins the WordReader contract: prefetch
+// targets must be computed from the actual index contents.
+func TestIMPReadsThroughMemoryImage(t *testing.T) {
+	h := newHarness(DefaultParams())
+	b := h.space.AllocInt32("B", 64)
+	a := h.space.AllocFloat64("A", 1<<12)
+	// Handcrafted indices with a recognizable target set.
+	for i := range b.Int32s() {
+		b.Int32s()[i] = int32((i*37 + 11) % 4096)
+	}
+	for i := 0; i < 40; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(b.Int32s()[i])), 8, false)
+	}
+	// Every indirect prefetch to A must land exactly on an element that the
+	// index array names.
+	valid := make(map[uint64]bool)
+	for _, v := range b.Int32s() {
+		valid[a.Addr(int(v)).LineID()] = true
+	}
+	for _, r := range h.reqs {
+		if r.Addr >= a.Base && r.Addr < a.End() {
+			if !valid[r.Addr.LineID()] {
+				t.Fatalf("prefetch %v targets a line no index names", r.Addr)
+			}
+		}
+	}
+}
+
+// TestPTEntryLimit checks Table 2 sizing is honored: more concurrent
+// streams than PT entries must not grow the table.
+func TestPTEntryLimit(t *testing.T) {
+	p := DefaultParams()
+	p.PTEntries = 4
+	h := newHarness(p)
+	if len(h.m.pt) != 4 {
+		t.Fatalf("PT size = %d", len(h.m.pt))
+	}
+	regions := make([]*mem.Region, 8)
+	for i := range regions {
+		regions[i] = h.space.AllocInt32("s", 256)
+	}
+	for round := 0; round < 16; round++ {
+		for s, r := range regions {
+			h.access(trace.PC(100+s), r.Addr(round), 4, false)
+		}
+	}
+	valid := 0
+	for i := range h.m.pt {
+		if h.m.pt[i].valid {
+			valid++
+		}
+	}
+	if valid > 4 {
+		t.Errorf("%d valid PT entries in a 4-entry table", valid)
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+// GranularityPredictor implements §4.2 (Fig 8): one entry per PT pattern,
+// each sampling up to GPSamples prefetched cachelines. The L1 keeps the
+// per-line touch bit vector (8-byte words demand-touched); on eviction the
+// simulator hands it to NoteEviction and the GP updates tot_sector,
+// min_granu and evict, re-running Algorithm 1 after every GPSamples
+// evictions.
+//
+// The paper stores the touch vector in the GP's sample slots; we read it
+// from the evicted line's metadata instead — the information content and
+// update points are identical, only the storage location differs (and the
+// storage-cost model still charges the GP for it, §6.4.2).
+type GranularityPredictor struct {
+	p       Params
+	entries []gpEntry
+	tracked map[uint64]int // sampled lineID -> PT pattern index
+}
+
+type gpEntry struct {
+	valid        bool
+	granuSectors int // current prefetch granularity, in L1 sectors
+	minGranu     int
+	totSectors   int
+	evicts       int
+	issued       uint64 // prefetches issued for this pattern (sampling clock)
+	samples      []uint64
+}
+
+func newGP(p Params) *GranularityPredictor {
+	return &GranularityPredictor{
+		p:       p,
+		entries: make([]gpEntry, p.PTEntries),
+		tracked: make(map[uint64]int),
+	}
+}
+
+func (g *GranularityPredictor) sectorsPerLine() int { return 64 / g.p.L1SectorBytes }
+
+// allocate initializes the GP entry when a pattern is detected: the access
+// granularity starts at a full cacheline (§4.2).
+func (g *GranularityPredictor) allocate(pt int) {
+	g.release(pt)
+	g.entries[pt] = gpEntry{
+		valid:        true,
+		granuSectors: g.sectorsPerLine(),
+		minGranu:     g.sectorsPerLine(),
+		samples:      make([]uint64, 0, g.p.GPSamples),
+	}
+}
+
+// release drops the GP entry and its tracked lines when the PT entry is
+// reclaimed.
+func (g *GranularityPredictor) release(pt int) {
+	if !g.entries[pt].valid {
+		return
+	}
+	for _, line := range g.entries[pt].samples {
+		delete(g.tracked, line)
+	}
+	g.entries[pt] = gpEntry{}
+}
+
+// Granularity returns the current prediction for pattern pt, in L1
+// sectors, or the full line if the pattern has no GP entry.
+func (g *GranularityPredictor) Granularity(pt int) int {
+	if pt < 0 || pt >= len(g.entries) || !g.entries[pt].valid {
+		return g.sectorsPerLine()
+	}
+	return g.entries[pt].granuSectors
+}
+
+// prefetchBytes returns the request size for an indirect prefetch of
+// pattern pt targeting target, and samples the prefetched line (every few
+// issues) for touch tracking.
+func (g *GranularityPredictor) prefetchBytes(pt int, target mem.Addr) int {
+	if pt < 0 || pt >= len(g.entries) || !g.entries[pt].valid {
+		return 0
+	}
+	e := &g.entries[pt]
+	e.issued++
+	// Sample roughly one in four prefetched lines while slots are free
+	// ("randomly selects up to N prefetched cachelines", §4.2); a strided
+	// pick keeps runs reproducible.
+	if len(e.samples) < g.p.GPSamples && e.issued%4 == 1 {
+		line := target.LineID()
+		if _, dup := g.tracked[line]; !dup {
+			e.samples = append(e.samples, line)
+			g.tracked[line] = pt
+		}
+	}
+	if e.granuSectors >= g.sectorsPerLine() {
+		return 0 // full line
+	}
+	return e.granuSectors * g.p.L1SectorBytes
+}
+
+// noteEviction receives the touch vector of an evicted L1 line. touch has
+// one bit per 8-byte word demand-touched while resident.
+func (g *GranularityPredictor) noteEviction(lineID uint64, touch uint8) {
+	pt, ok := g.tracked[lineID]
+	if !ok {
+		return
+	}
+	delete(g.tracked, lineID)
+	e := &g.entries[pt]
+	if !e.valid {
+		return
+	}
+	for i, l := range e.samples {
+		if l == lineID {
+			e.samples = append(e.samples[:i], e.samples[i+1:]...)
+			break
+		}
+	}
+
+	// Touch bits are tracked per 8-byte word; convert to L1 sectors.
+	sectors := touchToSectors(touch, g.p.L1SectorBytes)
+	e.evicts++
+	e.totSectors += bits.OnesCount8(uint8(sectors))
+	if run := minConsecutiveRun(uint8(sectors)); run > 0 && run < e.minGranu {
+		e.minGranu = run
+	}
+
+	if e.evicts < g.p.GPSamples {
+		return
+	}
+	// Algorithm 1.
+	n := g.p.GPSamples
+	costFull := n * (g.sectorsPerLine() + 1)
+	costPartial := e.totSectors
+	if e.minGranu > 0 {
+		costPartial += e.totSectors / e.minGranu
+	}
+	if costFull <= costPartial || e.totSectors == 0 {
+		e.granuSectors = g.sectorsPerLine()
+	} else {
+		e.granuSectors = e.minGranu
+	}
+	e.evicts = 0
+	e.totSectors = 0
+	e.minGranu = g.sectorsPerLine()
+}
+
+// touchToSectors widens the 8-bit word-touch vector to the GP's sector
+// granularity: a sector is touched if any of its words is.
+func touchToSectors(touch uint8, sectorBytes int) uint8 {
+	wordsPerSector := sectorBytes / 8
+	if wordsPerSector <= 1 {
+		return touch
+	}
+	var out uint8
+	numSectors := 8 / wordsPerSector
+	for s := 0; s < numSectors; s++ {
+		maskBits := uint8(1<<wordsPerSector-1) << (s * wordsPerSector)
+		if touch&maskBits != 0 {
+			out |= 1 << s
+		}
+	}
+	return out
+}
+
+// minConsecutiveRun returns the length of the shortest maximal run of set
+// bits (the paper's "smallest number of consecutive touched sectors"), or
+// 0 when no bit is set.
+func minConsecutiveRun(v uint8) int {
+	best := 0
+	run := 0
+	for i := 0; i < 9; i++ {
+		bit := i < 8 && v&(1<<i) != 0
+		if bit {
+			run++
+			continue
+		}
+		if run > 0 && (best == 0 || run < best) {
+			best = run
+		}
+		run = 0
+	}
+	return best
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+func TestMinConsecutiveRun(t *testing.T) {
+	cases := []struct {
+		v    uint8
+		want int
+	}{
+		{0b0000_0000, 0},
+		{0b0000_0001, 1},
+		{0b1000_0000, 1},
+		{0b0000_0011, 2},
+		{0b1111_1111, 8},
+		{0b0110_0001, 1}, // runs of 2 and 1: min is 1
+		{0b0110_0110, 2},
+		{0b1011_0111, 1}, // runs 3, 2, 1
+	}
+	for _, c := range cases {
+		if got := minConsecutiveRun(c.v); got != c.want {
+			t.Errorf("minConsecutiveRun(%08b) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTouchToSectors(t *testing.T) {
+	// 8-byte sectors: identity.
+	if got := touchToSectors(0b1010_0001, 8); got != 0b1010_0001 {
+		t.Errorf("8B sectors: %08b", got)
+	}
+	// 32-byte sectors: words 0-3 -> sector 0, words 4-7 -> sector 1.
+	if got := touchToSectors(0b0000_0001, 32); got != 0b01 {
+		t.Errorf("32B low: %08b", got)
+	}
+	if got := touchToSectors(0b1000_0000, 32); got != 0b10 {
+		t.Errorf("32B high: %08b", got)
+	}
+	if got := touchToSectors(0b0001_1000, 32); got != 0b11 {
+		t.Errorf("32B straddle: %08b", got)
+	}
+	if got := touchToSectors(0, 32); got != 0 {
+		t.Errorf("32B empty: %08b", got)
+	}
+}
+
+func gpWithPattern(t *testing.T) (*GranularityPredictor, int) {
+	t.Helper()
+	p := DefaultParams()
+	p.Partial = true
+	g := newGP(p)
+	g.allocate(3)
+	return g, 3
+}
+
+func TestGPStartsFullLine(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	if got := g.Granularity(pt); got != 8 {
+		t.Errorf("initial granularity = %d sectors, want 8 (full line)", got)
+	}
+	if got := g.prefetchBytes(pt, mem.Addr(0x1000)); got != 0 {
+		t.Errorf("initial prefetch bytes = %d, want 0 (full line)", got)
+	}
+	// Unknown pattern: full line.
+	if got := g.Granularity(99999 % len(g.entries)); got != 8 {
+		t.Errorf("unallocated entry granularity = %d", got)
+	}
+}
+
+// evictSamples issues prefetches until n lines are sampled, then evicts
+// them all with the given touch vector.
+func evictSamples(g *GranularityPredictor, pt int, touch uint8) {
+	var sampled []uint64
+	line := uint64(1000)
+	for len(sampled) < g.p.GPSamples {
+		g.prefetchBytes(pt, mem.Addr(line<<mem.LineShift))
+		if _, ok := g.tracked[line]; ok {
+			sampled = append(sampled, line)
+		}
+		line++
+	}
+	for _, l := range sampled {
+		g.noteEviction(l, touch)
+	}
+}
+
+func TestGPShrinksOnSparseTouch(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	// Every sampled line touched in exactly one 8-byte word.
+	evictSamples(g, pt, 0b0000_1000)
+	if got := g.Granularity(pt); got != 1 {
+		t.Errorf("granularity after single-word touches = %d sectors, want 1", got)
+	}
+	// Algorithm 1: costFull = 4*(8+1) = 36; costPartial = 4 + 4/1 = 8.
+	if got := g.prefetchBytes(pt, mem.Addr(0x5000)); got != 8 {
+		t.Errorf("prefetch bytes = %d, want 8 (one sector)", got)
+	}
+}
+
+func TestGPStaysFullOnDenseTouch(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	evictSamples(g, pt, 0xFF)
+	// costFull = 36; costPartial = 32 + 32/8 = 36; full wins ties.
+	if got := g.Granularity(pt); got != 8 {
+		t.Errorf("granularity after full touches = %d, want 8", got)
+	}
+}
+
+func TestGPTwoWordRuns(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	evictSamples(g, pt, 0b0001_1000) // one run of 2 sectors
+	// tot = 8, min = 2: costPartial = 8 + 4 = 12 < 36.
+	if got := g.Granularity(pt); got != 2 {
+		t.Errorf("granularity = %d, want 2", got)
+	}
+	if got := g.prefetchBytes(pt, mem.Addr(0x5000)); got != 16 {
+		t.Errorf("prefetch bytes = %d, want 16", got)
+	}
+}
+
+func TestGPUntouchedLinesKeepFull(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	evictSamples(g, pt, 0)
+	// Nothing touched: no evidence; stay at full line.
+	if got := g.Granularity(pt); got != 8 {
+		t.Errorf("granularity after untouched evictions = %d, want 8", got)
+	}
+}
+
+func TestGPReconsidersAfterEachWindow(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	evictSamples(g, pt, 0b0000_0001)
+	if g.Granularity(pt) != 1 {
+		t.Fatal("setup: expected shrink to 1 sector")
+	}
+	// Workload changes: now every sector is touched; after another sample
+	// window the GP must grow back to full lines.
+	evictSamples(g, pt, 0xFF)
+	if got := g.Granularity(pt); got != 8 {
+		t.Errorf("granularity after dense window = %d, want 8 (grows back)", got)
+	}
+}
+
+func TestGPEvictionOfUntrackedLineIgnored(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	g.noteEviction(424242, 0xFF)
+	if got := g.Granularity(pt); got != 8 {
+		t.Errorf("untracked eviction changed granularity to %d", got)
+	}
+}
+
+func TestGPRelease(t *testing.T) {
+	g, pt := gpWithPattern(t)
+	// Sample some lines, then release: tracked map must be clean.
+	for i := 0; i < 16; i++ {
+		g.prefetchBytes(pt, mem.Addr(uint64(2000+i)<<mem.LineShift))
+	}
+	g.release(pt)
+	if len(g.tracked) != 0 {
+		t.Errorf("%d lines still tracked after release", len(g.tracked))
+	}
+	if g.entries[pt].valid {
+		t.Error("entry still valid after release")
+	}
+}
+
+func TestStorageCostMatchesPaper(t *testing.T) {
+	p := DefaultParams()
+	c := p.Storage()
+	// §6.4.1: each PT indirect entry < 120 bits; 16 entries < 2 Kbit.
+	if c.PTEntryBits > 120 {
+		t.Errorf("PT entry = %d bits, paper says < 120", c.PTEntryBits)
+	}
+	if c.PTBits > 2048 {
+		t.Errorf("PT total = %d bits, paper says < 2 Kbit", c.PTBits)
+	}
+	// §6.4.1: IPD ~3.5 Kbit (two 48b indices + 4x4 48b BaseAddrs per entry).
+	if c.IPDBits < 3000 || c.IPDBits > 4096 {
+		t.Errorf("IPD total = %d bits, paper says ~3.5 Kbit", c.IPDBits)
+	}
+	// Overall ~5.5 Kbit = ~0.7 KB without the GP.
+	total := c.TotalBits()
+	if total < 4500 || total > 6500 {
+		t.Errorf("total = %d bits, paper says ~5.5 Kbit", total)
+	}
+
+	// §6.4.2: GP entry ~210 bits (the paper's "less than 210" rounds its
+	// counter fields slightly harder than our explicit accounting), total
+	// ~3.4 Kbit.
+	p.Partial = true
+	cg := p.Storage()
+	if cg.GPEntryBits > 215 {
+		t.Errorf("GP entry = %d bits, paper says ~210", cg.GPEntryBits)
+	}
+	if cg.GPBits < 2800 || cg.GPBits > 3600 {
+		t.Errorf("GP total = %d bits, paper says ~3.4 Kbit", cg.GPBits)
+	}
+	if cg.String() == "" {
+		t.Error("empty storage description")
+	}
+}
+
+func TestIMPWithPartialEmitsPartialRequests(t *testing.T) {
+	p := DefaultParams()
+	p.Partial = true
+	h := newHarness(p)
+	idx := scatteredIndices(512, 1<<20)
+	b, a := buildAB(h, idx, 1<<20)
+	drive(h, b, a, 64)
+	if h.m.GP() == nil {
+		t.Fatal("partial IMP has no GP")
+	}
+	// Evict the sampled lines with sparse touches so the GP shrinks.
+	for line, pt := range h.m.GP().tracked {
+		_ = pt
+		h.m.NoteEviction(line, 0b0000_0001)
+	}
+	drive(h, b, a, 128)
+	partial := 0
+	for _, r := range h.reqs {
+		if r.Bytes > 0 && r.Bytes < 64 {
+			partial++
+		}
+	}
+	if partial == 0 {
+		t.Error("no partial-line prefetch requests after GP shrink")
+	}
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/prefetch"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// harness drives an IMP instance with a synthetic access stream over a real
+// address space, mimicking what the L1 feeds the prefetcher. A toy
+// fully-associative "cache" of prefetched/accessed lines decides hit/miss.
+type harness struct {
+	m     *IMP
+	space *mem.Space
+	lines map[uint64]bool
+	// every request IMP issued, in order
+	reqs []prefetch.Request
+}
+
+func newHarness(p Params) *harness {
+	s := mem.NewSpace()
+	h := &harness{space: s, lines: make(map[uint64]bool)}
+	h.m = New(p, s)
+	return h
+}
+
+// access plays one demand access: miss if the line was never fetched.
+func (h *harness) access(pc trace.PC, addr mem.Addr, size int, store bool) []prefetch.Request {
+	miss := !h.lines[addr.LineID()]
+	h.lines[addr.LineID()] = true
+	a := prefetch.Access{PC: pc, Addr: addr, Size: size, Store: store, Miss: miss}
+	if !store {
+		a.Value = h.space.ReadWord(addr)
+	}
+	reqs := h.m.Observe(a)
+	for _, r := range reqs {
+		h.lines[r.Addr.LineID()] = true
+	}
+	h.reqs = append(h.reqs, reqs...)
+	return reqs
+}
+
+// hasPrefetchFor reports whether any issued request covers addr.
+func (h *harness) hasPrefetchFor(addr mem.Addr) bool {
+	for _, r := range h.reqs {
+		if r.Addr.LineID() == addr.LineID() {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	pcIndex trace.PC = 1
+	pcData  trace.PC = 2
+	pcData2 trace.PC = 3
+)
+
+// scatteredIndices returns n index values with no arithmetic pattern, all
+// below limit.
+func scatteredIndices(n, limit int) []int32 {
+	out := make([]int32, n)
+	x := uint64(88172645463325252)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = int32(x % uint64(limit))
+	}
+	return out
+}
+
+// buildAB allocates an index array B (int32) holding idx values and a data
+// array A of float64 (coefficient 8, shift 3).
+func buildAB(h *harness, idx []int32, aLen int) (b, a *mem.Region) {
+	b = h.space.AllocInt32("B", len(idx))
+	copy(b.Int32s(), idx)
+	a = h.space.AllocFloat64("A", aLen)
+	return b, a
+}
+
+// drive runs n iterations of the canonical loop: load B[i]; load A[B[i]].
+func drive(h *harness, b, a *mem.Region, n int) {
+	for i := 0; i < n && i < b.Len(); i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(b.Int32s()[i])), 8, false)
+	}
+}
+
+func TestDetectsShift3Pattern(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(64, 4096)
+	b, a := buildAB(h, idx, 4096)
+	drive(h, b, a, 32)
+
+	if got := h.m.Stats().PatternsDetected; got != 1 {
+		t.Fatalf("patterns detected = %d, want 1 (%v)", got, h.m)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e == nil || !e.enabled {
+		t.Fatal("stream entry not enabled after detection")
+	}
+	if e.shift != 3 {
+		t.Errorf("shift = %d, want 3 (coefficient 8)", e.shift)
+	}
+	if mem.Addr(e.baseAddr) != a.Base {
+		t.Errorf("baseAddr = %#x, want %v", e.baseAddr, a.Base)
+	}
+}
+
+func TestIndirectPrefetchesCoverFutureTargets(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(128, 1<<20)
+	b, a := buildAB(h, idx, 1<<20)
+	drive(h, b, a, 64)
+
+	if h.m.Stats().IndirectPrefetches == 0 {
+		t.Fatal("no indirect prefetches issued")
+	}
+	// After warmup, future targets must have been prefetched before their
+	// demand access: drive far enough that i=40..60 were prefetched.
+	covered := 0
+	for i := 40; i < 60; i++ {
+		if h.hasPrefetchFor(a.Addr(int(idx[i]))) {
+			covered++
+		}
+	}
+	if covered < 18 {
+		t.Errorf("only %d/20 future targets covered by prefetches", covered)
+	}
+}
+
+func TestPrefetchDistanceRamps(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(256, 1<<20)
+	b, a := buildAB(h, idx, 1<<20)
+	drive(h, b, a, 200)
+	e, _ := h.m.lookupStream(pcIndex)
+	if e.prefDist != DefaultParams().MaxPrefetchDistance {
+		t.Errorf("prefetch distance = %d, want ramped to %d", e.prefDist, DefaultParams().MaxPrefetchDistance)
+	}
+}
+
+func TestShift2Coefficient4(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(64, 4096)
+	b := h.space.AllocInt32("B", len(idx))
+	copy(b.Int32s(), idx)
+	a := h.space.AllocInt32("A32", 4096) // 4-byte elements: shift 2
+	for i := 0; i < 32; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 4, false)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if !e.enabled || e.shift != 2 {
+		t.Errorf("enabled=%v shift=%d, want shift 2", e.enabled, e.shift)
+	}
+}
+
+func TestShift4Coefficient16(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(64, 2048)
+	b := h.space.AllocInt32("B", len(idx))
+	copy(b.Int32s(), idx)
+	// 16-byte structures: allocate raw bytes, access element starts.
+	a := h.space.AllocBytes("A16", 2048*16)
+	for i := 0; i < 32; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])*16), 8, false)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if !e.enabled || e.shift != 4 {
+		t.Errorf("enabled=%v shift=%d, want shift 4", e.enabled, e.shift)
+	}
+}
+
+func TestShiftMinus3BitVector(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(64, 1<<18)
+	b := h.space.AllocInt32("B", len(idx))
+	copy(b.Int32s(), idx)
+	bv := h.space.AllocBytes("bits", 1<<15) // bit vector: byte = idx >> 3
+	for i := 0; i < 40; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, bv.Addr(int(idx[i])>>3), 1, false)
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if !e.enabled || e.shift != -3 {
+		t.Errorf("enabled=%v shift=%d, want shift -3 (coefficient 1/8)", e.enabled, e.shift)
+	}
+}
+
+func TestNoDetectionWithoutIndirection(t *testing.T) {
+	h := newHarness(DefaultParams())
+	b := h.space.AllocInt32("B", 512)
+	for i := range b.Int32s() {
+		b.Int32s()[i] = int32(i * 7)
+	}
+	// Pure streaming: no dependent access follows the index loads.
+	for i := 0; i < 256; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+	}
+	if got := h.m.Stats().PatternsDetected; got != 0 {
+		t.Errorf("detected %d patterns on a pure stream", got)
+	}
+	if h.m.Stats().IndirectPrefetches != 0 {
+		t.Error("issued indirect prefetches without a pattern")
+	}
+	// Stream prefetches of the index array itself are expected.
+	if h.m.Stats().StreamPrefetches == 0 {
+		t.Error("no stream prefetches on a sequential scan")
+	}
+}
+
+func TestRandomTrafficNoFalsePattern(t *testing.T) {
+	h := newHarness(DefaultParams())
+	data := h.space.AllocFloat64("heap", 1<<16)
+	x := uint64(2463534242)
+	for i := 0; i < 400; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		h.access(trace.PC(100+(x%3)), data.Addr(int(x%(1<<16))), 8, false)
+	}
+	if got := h.m.Stats().PatternsDetected; got != 0 {
+		t.Errorf("detected %d patterns in random traffic", got)
+	}
+}
+
+func TestConfidenceGatesPrefetching(t *testing.T) {
+	// With a confidence threshold higher than the matches the short run can
+	// accumulate, no indirect prefetch may ever issue (§3.2.3: prefetching
+	// starts only once the saturating counter reaches the threshold).
+	p := DefaultParams()
+	p.ConfidenceThreshold = 8
+	p.ConfidenceMax = 8
+	h := newHarness(p)
+	idx := scatteredIndices(64, 1<<16)
+	b, a := buildAB(h, idx, 1<<16)
+
+	drive(h, b, a, 8) // detects the pattern but accumulates < 8 matches
+	e, _ := h.m.lookupStream(pcIndex)
+	if e == nil || !e.enabled {
+		t.Skip("pattern not yet detected at iteration 8; detection timing changed")
+	}
+	// Break the pattern so confidence can never reach the threshold.
+	other := h.space.AllocFloat64("other", 1024)
+	for i := 8; i < 16; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, other.Addr(i), 8, false) // never matches predictions
+	}
+	if got := h.m.Stats().IndirectPrefetches; got != 0 {
+		t.Errorf("issued %d indirect prefetches below the confidence threshold", got)
+	}
+}
+
+func TestConfidenceDropsStopPrefetching(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(256, 1<<20)
+	b, a := buildAB(h, idx, 1<<20)
+	drive(h, b, a, 40) // detected + prefetching
+
+	e, _ := h.m.lookupStream(pcIndex)
+	if !e.enabled || e.hitCnt < DefaultParams().ConfidenceThreshold {
+		t.Fatal("pattern not confident after 40 iterations")
+	}
+	// Break the pattern: keep streaming the index but stop touching A.
+	other := h.space.AllocFloat64("other", 4096)
+	for i := 40; i < 80; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData2, other.Addr(i), 8, false)
+	}
+	mid := h.m.Stats().IndirectPrefetches
+	for i := 80; i < 120; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData2, other.Addr(i), 8, false)
+	}
+	if got := h.m.Stats().IndirectPrefetches; got != mid {
+		t.Errorf("still issuing indirect prefetches (%d more) after the pattern broke", got-mid)
+	}
+}
+
+func TestNestedLoopResumesWithoutRelearning(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(512, 1<<20)
+	b, a := buildAB(h, idx, 1<<20)
+
+	// Inner loop 1: iterate 32 elements, enough to detect and prefetch.
+	drive(h, b, a, 32)
+	detected := h.m.Stats().PatternsDetected
+	if detected != 1 {
+		t.Fatalf("patterns after first inner loop = %d", detected)
+	}
+
+	// Outer loop restarts the scan at a far position (stream hiccup).
+	start := 300
+	issuedBefore := h.m.Stats().IndirectPrefetches
+	for i := start; i < start+8; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 8, false)
+	}
+	if got := h.m.Stats().PatternsDetected; got != detected {
+		t.Errorf("re-detected pattern after restart (%d total), want reuse", got)
+	}
+	if got := h.m.Stats().IndirectPrefetches; got <= issuedBefore {
+		t.Error("no indirect prefetches after nested-loop restart")
+	}
+	// And they must target the new position's future indices.
+	found := false
+	for i := start + 1; i < start+16; i++ {
+		if h.hasPrefetchFor(a.Addr(int(idx[i]))) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("post-restart prefetches do not cover the new scan position")
+	}
+}
+
+func TestMultiWayDetection(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(128, 1<<16)
+	b := h.space.AllocInt32("B", len(idx))
+	copy(b.Int32s(), idx)
+	a := h.space.AllocFloat64("A", 1<<16)
+	c := h.space.AllocInt64("C", 1<<16)
+	// load B[i]; load A[B[i]]; load C[B[i]]  (Listing 2)
+	for i := 0; i < 64; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 8, false)
+		h.access(pcData2, c.Addr(int(idx[i])), 8, false)
+	}
+	st := h.m.Stats()
+	if st.PatternsDetected != 1 {
+		t.Fatalf("primary patterns = %d, want 1", st.PatternsDetected)
+	}
+	if st.SecondaryDetected < 1 {
+		t.Fatalf("secondary patterns = %d, want >= 1 (second way)", st.SecondaryDetected)
+	}
+	e, ei := h.m.lookupStream(pcIndex)
+	if e.nextWay == none {
+		t.Fatal("primary entry has no way child")
+	}
+	child := &h.m.pt[e.nextWay]
+	if child.indType != secondWay || child.prev != int8(ei) {
+		t.Errorf("way child: type=%v prev=%d, want second-way linked to %d", child.indType, child.prev, ei)
+	}
+	// Both arrays' future elements must be prefetched.
+	futureA, futureC := 0, 0
+	for i := 40; i < 60; i++ {
+		if h.hasPrefetchFor(a.Addr(int(idx[i]))) {
+			futureA++
+		}
+		if h.hasPrefetchFor(c.Addr(int(idx[i]))) {
+			futureC++
+		}
+	}
+	if futureA < 15 || futureC < 15 {
+		t.Errorf("coverage A=%d/20 C=%d/20, want both high", futureA, futureC)
+	}
+}
+
+func TestMultiLevelDetection(t *testing.T) {
+	h := newHarness(DefaultParams())
+	// Listing 3: load A[B[C[i]]]. C scanned; B int64 indexed by C values;
+	// A indexed by B values.
+	cIdx := scatteredIndices(128, 2048)
+	c := h.space.AllocInt32("C", len(cIdx))
+	copy(c.Int32s(), cIdx)
+	b := h.space.AllocInt64("B", 2048)
+	bIdx := scatteredIndices(2048, 1<<16)
+	for i, v := range bIdx {
+		b.Int64s()[i] = int64(v)
+	}
+	a := h.space.AllocFloat64("A", 1<<16)
+
+	for i := 0; i < 96; i++ {
+		ci := int(cIdx[i])
+		h.access(pcIndex, c.Addr(i), 4, false)
+		h.access(pcData, b.Addr(ci), 8, false)
+		h.access(pcData2, a.Addr(int(b.Int64s()[ci])), 8, false)
+	}
+	st := h.m.Stats()
+	if st.PatternsDetected < 1 {
+		t.Fatal("no primary pattern detected")
+	}
+	if st.SecondaryDetected < 1 {
+		t.Fatal("no second-level pattern detected")
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e.nextLevel == none {
+		t.Fatal("primary entry has no level child")
+	}
+	child := &h.m.pt[e.nextLevel]
+	if child.indType != secondLevel {
+		t.Errorf("level child type = %v", child.indType)
+	}
+	// Future second-level targets covered.
+	covered := 0
+	for i := 60; i < 80; i++ {
+		if h.hasPrefetchFor(a.Addr(int(b.Int64s()[int(cIdx[i])]))) {
+			covered++
+		}
+	}
+	if covered < 10 {
+		t.Errorf("second-level coverage %d/20", covered)
+	}
+	// Chained requests must carry the parent dependency.
+	dep := false
+	for _, r := range h.reqs {
+		if r.Parent >= 0 {
+			dep = true
+			break
+		}
+	}
+	if !dep {
+		t.Error("no request carries a parent dependency (second level must wait)")
+	}
+}
+
+func TestBackoffAfterFailedDetection(t *testing.T) {
+	h := newHarness(DefaultParams())
+	b := h.space.AllocInt32("B", 4096)
+	for i := range b.Int32s() {
+		b.Int32s()[i] = int32(i * 13 % 509)
+	}
+	// Stream B but follow each index with a miss that matches no Eq. 2
+	// relation (a second independent stream).
+	junk := h.space.AllocFloat64("junk", 1<<18)
+	x := 1
+	for i := 0; i < 600; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		x = (x * 29) % (1 << 18)
+		h.access(pcData, junk.Addr(x), 8, false)
+	}
+	st := h.m.Stats()
+	if st.DetectionFailures == 0 {
+		t.Fatal("no detection failures recorded")
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e.failCount == 0 || e.backoffTill <= h.m.clock-500 {
+		t.Errorf("no back-off in effect: failCount=%d backoffTill=%d clock=%d",
+			e.failCount, e.backoffTill, h.m.clock)
+	}
+	// Back-off must be exponential: failures far fewer than index accesses.
+	if st.DetectionFailures > st.IndexAccesses/4 {
+		t.Errorf("failures %d vs %d index accesses: back-off not slowing detection",
+			st.DetectionFailures, st.IndexAccesses)
+	}
+}
+
+func TestPTEvictionKeepsPatternsWhenPossible(t *testing.T) {
+	p := DefaultParams()
+	p.PTEntries = 4
+	h := newHarness(p)
+	idx := scatteredIndices(64, 1<<16)
+	b, a := buildAB(h, idx, 1<<16)
+	drive(h, b, a, 32)
+	if h.m.Stats().PatternsDetected != 1 {
+		t.Fatal("setup: pattern not detected")
+	}
+	// Touch many unrelated streaming PCs to pressure the PT.
+	for pc := trace.PC(50); pc < 53; pc++ {
+		r := h.space.AllocInt32("noise", 256)
+		for i := 0; i < 16; i++ {
+			h.access(pc, r.Addr(i), 4, false)
+		}
+	}
+	e, _ := h.m.lookupStream(pcIndex)
+	if e == nil || !e.enabled {
+		t.Error("enabled pattern evicted while plain stream entries existed")
+	}
+}
+
+func TestExclusivePrefetchForStores(t *testing.T) {
+	h := newHarness(DefaultParams())
+	idx := scatteredIndices(128, 1<<16)
+	b, a := buildAB(h, idx, 1<<16)
+	// A[B[i]] is stored to, not loaded (e.g. scatter updates).
+	for i := 0; i < 64; i++ {
+		h.access(pcIndex, b.Addr(i), 4, false)
+		h.access(pcData, a.Addr(int(idx[i])), 8, true)
+	}
+	if h.m.Stats().PatternsDetected != 1 {
+		t.Fatal("store-target pattern not detected")
+	}
+	exclusive := 0
+	total := 0
+	for _, r := range h.reqs {
+		if r.Bytes == 0 && r.Addr >= a.Base && r.Addr < a.End() {
+			total++
+			if r.Exclusive {
+				exclusive++
+			}
+		}
+	}
+	if total == 0 || exclusive*2 < total {
+		t.Errorf("exclusive prefetches %d/%d, want majority (read/write predictor)", exclusive, total)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	h := newHarness(DefaultParams())
+	if got := h.m.String(); got == "" {
+		t.Error("empty String()")
+	}
+	if h.m.Name() != "imp" {
+		t.Errorf("Name = %q", h.m.Name())
+	}
+	p := DefaultParams()
+	p.Partial = true
+	if New(p, h.space).Name() != "imp+partial" {
+		t.Error("partial name wrong")
+	}
+}
+
+func TestValidateParams(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := DefaultParams()
+	bad.PTEntries = 0
+	if bad.Validate() == nil {
+		t.Error("accepted zero PT entries")
+	}
+	bad = DefaultParams()
+	bad.Shifts = nil
+	if bad.Validate() == nil {
+		t.Error("accepted empty shift set")
+	}
+	bad = DefaultParams()
+	bad.Shifts = []int8{9}
+	if bad.Validate() == nil {
+		t.Error("accepted out-of-range shift")
+	}
+}
+
+func TestShiftApply(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		s    int8
+		want uint64
+	}{
+		{5, 2, 20}, {5, 3, 40}, {5, 4, 80}, {40, -3, 5}, {41, -3, 5}, {7, 0, 7},
+	}
+	for _, c := range cases {
+		if got := shiftApply(c.v, c.s); got != c.want {
+			t.Errorf("shiftApply(%d,%d) = %d, want %d", c.v, c.s, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+// StorageCost reports the hardware budget of an IMP configuration in bits,
+// following §6.4 of the paper (48-bit addresses; the stream-table portion
+// of the PT is charged to the baseline stream prefetcher, not to IMP).
+type StorageCost struct {
+	PTBits       int // indirect-table portion of the Prefetch Table
+	IPDBits      int
+	GPBits       int // granularity predictor (only when Partial)
+	PTEntryBits  int
+	IPDEntryBits int
+	GPEntryBits  int
+}
+
+// TotalBits returns the full IMP budget (PT + IPD + GP).
+func (c StorageCost) TotalBits() int { return c.PTBits + c.IPDBits + c.GPBits }
+
+func (c StorageCost) String() string {
+	return fmt.Sprintf("PT %d bits (%d/entry), IPD %d bits (%d/entry), GP %d bits (%d/entry), total %.2f KB",
+		c.PTBits, c.PTEntryBits, c.IPDBits, c.IPDEntryBits, c.GPBits, c.GPEntryBits,
+		float64(c.TotalBits())/8/1024)
+}
+
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Storage computes the §6.4 storage model for the configured parameters.
+func (p Params) Storage() StorageCost {
+	addr := mem.AddressBits
+
+	// Indirect-table portion of a PT entry (Fig 5 + Fig 6): enable bit,
+	// shift selector, BaseAddr, index, saturating hit counter, read/write
+	// predictor bit, indirection type, and three entry links.
+	// The prefetch-distance ramp is not charged, matching the paper's
+	// "less than 120 bits" accounting.
+	link := log2Ceil(p.PTEntries)
+	ptEntry := 1 + // enable
+		log2Ceil(len(p.Shifts)) +
+		addr + // BaseAddr
+		addr + // index
+		log2Ceil(p.ConfidenceMax+1) +
+		1 + // read/write predictor
+		2 + // ind_type
+		3*link // next_way, next_level, prev
+
+	// IPD entry (Fig 4): two index values plus the BaseAddr array with one
+	// candidate per (shift, miss slot), plus small counters.
+	ipdEntry := 2*addr +
+		len(p.Shifts)*p.BaseAddrArrayLen*addr +
+		2*log2Ceil(p.BaseAddrArrayLen+1) + // miss counters
+		link // owner PT entry
+
+	cost := StorageCost{
+		PTEntryBits:  ptEntry,
+		PTBits:       p.PTEntries * ptEntry,
+		IPDEntryBits: ipdEntry,
+		IPDBits:      p.IPDEntries * ipdEntry,
+	}
+
+	if p.Partial {
+		// GP entry (Fig 8): per sample an address tag (48 - log2(64) bits)
+		// and a touch bit vector; plus tot_sector, min_granu, granu, evict.
+		// Granularities are powers of two, so 2 bits encode {1,2,4,8}
+		// sectors; evict wraps at GPSamples.
+		sectors := 64 / p.L1SectorBytes
+		sample := (addr - mem.LineShift) + sectors
+		gpEntry := p.GPSamples*sample +
+			log2Ceil(p.GPSamples*sectors+1) + // tot_sector
+			log2Ceil(log2Ceil(sectors)+1) + // min_granu (log encoding)
+			log2Ceil(log2Ceil(sectors)+1) + // granu (log encoding)
+			log2Ceil(p.GPSamples) // evict
+		cost.GPEntryBits = gpEntry
+		cost.GPBits = p.PTEntries * gpEntry
+	}
+	return cost
+}

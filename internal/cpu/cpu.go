@@ -1,0 +1,131 @@
+// Package cpu models the core pipelines of Table 1 and §6.3.1: an in-order,
+// single-issue core that blocks on every load, and a modest out-of-order
+// core with a small reorder window (32 entries, mimicking Silvermont) that
+// can slide past outstanding misses until the window fills or a dependent
+// instruction needs the data.
+package cpu
+
+import "fmt"
+
+// Kind selects the pipeline model.
+type Kind int
+
+// Pipeline kinds.
+const (
+	InOrder Kind = iota
+	OutOfOrder
+)
+
+func (k Kind) String() string {
+	if k == OutOfOrder {
+		return "ooo"
+	}
+	return "in-order"
+}
+
+// DefaultWindow is the paper's OoO reorder-buffer size (§6.3.1).
+const DefaultWindow = 32
+
+type pendingLoad struct {
+	instr    uint64 // dynamic instruction index at issue
+	complete int64  // cycle the data returns
+}
+
+// Pipeline tracks outstanding loads for one core. The zero value is not
+// usable; construct with New.
+type Pipeline struct {
+	kind    Kind
+	window  uint64
+	pending []pendingLoad // FIFO, oldest first
+	// lastComplete is the completion time of the most recent load, for
+	// dependent (indirect) accesses.
+	lastComplete int64
+	// stallCycles accumulates cycles lost to window-full and dependency
+	// stalls (reporting only).
+	stallCycles int64
+}
+
+// New builds a pipeline model. window is ignored for in-order cores.
+func New(kind Kind, window int) *Pipeline {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Pipeline{kind: kind, window: uint64(window)}
+}
+
+// Kind returns the pipeline model kind.
+func (p *Pipeline) Kind() Kind { return p.kind }
+
+// StallCycles returns the cycles spent stalled on the window or
+// dependencies (out-of-order model only; the in-order model stalls inline).
+func (p *Pipeline) StallCycles() int64 { return p.stallCycles }
+
+// Gate is called before issuing the instruction with dynamic index instr at
+// time now. It returns the (possibly later) time the instruction can
+// actually issue:
+//
+//   - in-order cores never gate here — the caller blocks on load latency
+//     directly;
+//   - out-of-order cores wait for any outstanding load older than the
+//     reorder window, and for the previous load when depPrev is set.
+func (p *Pipeline) Gate(now int64, instr uint64, depPrev bool) int64 {
+	if p.kind == InOrder {
+		return now
+	}
+	t := now
+	// Retire outstanding loads that have completed by t as we go; stall on
+	// those still in flight but too old to keep speculating past.
+	for len(p.pending) > 0 {
+		oldest := p.pending[0]
+		if oldest.complete <= t {
+			p.pending = p.pending[1:]
+			continue
+		}
+		if instr-oldest.instr < p.window {
+			break
+		}
+		t = oldest.complete
+		p.pending = p.pending[1:]
+	}
+	if depPrev && p.lastComplete > t {
+		t = p.lastComplete
+	}
+	p.stallCycles += t - now
+	return t
+}
+
+// NoteLoad records a load (or store occupying a write-buffer slot) issued
+// at dynamic instruction instr whose data returns at complete.
+// lastComplete tracks the most recent load only: a dependent access waits
+// for its producer (the immediately preceding load), not for every
+// outstanding miss.
+func (p *Pipeline) NoteLoad(instr uint64, complete int64) {
+	p.lastComplete = complete
+	if p.kind == InOrder {
+		return
+	}
+	p.pending = append(p.pending, pendingLoad{instr: instr, complete: complete})
+}
+
+// Drain waits for all outstanding loads (barrier or end of trace) and
+// returns the time the pipeline is empty.
+func (p *Pipeline) Drain(now int64) int64 {
+	t := now
+	for _, pl := range p.pending {
+		if pl.complete > t {
+			t = pl.complete
+		}
+	}
+	p.pending = p.pending[:0]
+	if p.lastComplete > t && p.kind == InOrder {
+		t = now // in-order cores already waited inline
+	}
+	return t
+}
+
+// Outstanding returns the number of loads in flight.
+func (p *Pipeline) Outstanding() int { return len(p.pending) }
+
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("Pipeline{%v window=%d pending=%d}", p.kind, p.window, len(p.pending))
+}

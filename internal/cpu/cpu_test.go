@@ -1,0 +1,103 @@
+package cpu
+
+import "testing"
+
+func TestInOrderNeverGates(t *testing.T) {
+	p := New(InOrder, 0)
+	p.NoteLoad(1, 1000)
+	if got := p.Gate(5, 2, false); got != 5 {
+		t.Errorf("in-order Gate = %d, want 5 (caller blocks inline)", got)
+	}
+}
+
+func TestOoOSlidesPastMissesUntilWindowFull(t *testing.T) {
+	p := New(OutOfOrder, 32)
+	// A load at instruction 10 completing at cycle 500.
+	p.NoteLoad(10, 500)
+	// Instruction 20 (10 younger): inside the window, no stall.
+	if got := p.Gate(20, 20, false); got != 20 {
+		t.Errorf("Gate inside window = %d, want 20", got)
+	}
+	// Instruction 42 (32 younger): window full, stall to 500.
+	if got := p.Gate(30, 42, false); got != 500 {
+		t.Errorf("Gate at window edge = %d, want 500", got)
+	}
+	if p.StallCycles() != 470 {
+		t.Errorf("stall cycles = %d, want 470", p.StallCycles())
+	}
+}
+
+func TestOoODependencyStalls(t *testing.T) {
+	p := New(OutOfOrder, 32)
+	p.NoteLoad(10, 300)
+	// A dependent access right after must wait for the data even though the
+	// window has room.
+	if got := p.Gate(11, 11, true); got != 300 {
+		t.Errorf("dependent Gate = %d, want 300", got)
+	}
+}
+
+func TestOoOCompletedLoadsRetire(t *testing.T) {
+	p := New(OutOfOrder, 32)
+	p.NoteLoad(1, 50)
+	p.NoteLoad(2, 60)
+	// At time 100 both are complete: no stall even far past the window.
+	if got := p.Gate(100, 1000, false); got != 100 {
+		t.Errorf("Gate after completion = %d, want 100", got)
+	}
+	if p.Outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", p.Outstanding())
+	}
+}
+
+func TestOoOMultipleOutstandingOverlap(t *testing.T) {
+	// Two misses issued close together: the second's latency overlaps the
+	// first (memory-level parallelism).
+	p := New(OutOfOrder, 32)
+	p.NoteLoad(1, 400)
+	p.NoteLoad(2, 410)
+	// Window fills at instruction 33: wait for the first only.
+	if got := p.Gate(10, 33, false); got != 400 {
+		t.Errorf("Gate = %d, want 400 (first load)", got)
+	}
+	// Next gate at 34 retires the second.
+	if got := p.Gate(401, 34, false); got != 410 {
+		t.Errorf("Gate = %d, want 410 (second load)", got)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	p := New(OutOfOrder, 32)
+	p.NoteLoad(1, 500)
+	p.NoteLoad(2, 700)
+	if got := p.Drain(100); got != 700 {
+		t.Errorf("Drain = %d, want 700", got)
+	}
+	if p.Outstanding() != 0 {
+		t.Error("pending not cleared by Drain")
+	}
+	// Draining an empty pipeline is a no-op.
+	if got := p.Drain(800); got != 800 {
+		t.Errorf("empty Drain = %d, want 800", got)
+	}
+}
+
+func TestDefaultWindowApplied(t *testing.T) {
+	p := New(OutOfOrder, 0)
+	p.NoteLoad(0, 900)
+	if got := p.Gate(1, DefaultWindow-1, false); got != 1 {
+		t.Errorf("Gate inside default window stalled: %d", got)
+	}
+	if got := p.Gate(1, DefaultWindow, false); got != 900 {
+		t.Errorf("Gate at default window = %d, want 900", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if InOrder.String() != "in-order" || OutOfOrder.String() != "ooo" {
+		t.Error("bad kind strings")
+	}
+	if New(InOrder, 0).String() == "" {
+		t.Error("empty pipeline string")
+	}
+}

@@ -1,0 +1,244 @@
+// Package mem provides the virtual memory substrate for the simulator:
+// a write-once virtual address space whose regions are backed by Go slices.
+//
+// Workloads allocate their data structures (index arrays, data arrays,
+// bit vectors) as regions, write them during input construction, and then
+// the timing simulator — in particular the IMP prefetcher, which must read
+// index values such as B[i+Δ] from "memory" exactly as the hardware would
+// read them from a fetched cacheline — reads words back by virtual address.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Architectural constants used throughout the simulator. They mirror
+// Table 1 of the paper.
+const (
+	// LineSize is the cacheline size in bytes.
+	LineSize = 64
+	// LineShift is log2(LineSize).
+	LineShift = 6
+	// PageSize is the allocation granularity of the address space.
+	PageSize = 4096
+	// AddressBits is the width of the virtual address space (§6.4).
+	AddressBits = 48
+)
+
+// Addr is a virtual byte address.
+type Addr uint64
+
+// Line returns the cacheline-aligned address containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// LineID returns the cacheline number (address >> 6) containing a.
+func (a Addr) LineID() uint64 { return uint64(a) >> LineShift }
+
+// Offset returns the byte offset of a within its cacheline.
+func (a Addr) Offset() uint64 { return uint64(a) & (LineSize - 1) }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// Kind describes the element width of a region, which determines how
+// ReadWord decodes backing storage.
+type Kind uint8
+
+// Region element kinds.
+const (
+	KindInt32 Kind = iota
+	KindInt64
+	KindFloat64
+	KindBytes
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt32:
+		return "int32"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// elemSize returns the element size in bytes for kind k.
+func (k Kind) elemSize() int {
+	switch k {
+	case KindInt32:
+		return 4
+	case KindInt64, KindFloat64:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// Region is a contiguous, write-once range of the virtual address space
+// backed by a Go slice. The zero value is invalid; obtain regions from
+// Space.Alloc*.
+type Region struct {
+	Name string
+	Base Addr
+	kind Kind
+
+	i32 []int32
+	i64 []int64
+	f64 []float64
+	b   []byte
+}
+
+// Len returns the number of elements in the region.
+func (r *Region) Len() int {
+	switch r.kind {
+	case KindInt32:
+		return len(r.i32)
+	case KindInt64:
+		return len(r.i64)
+	case KindFloat64:
+		return len(r.f64)
+	default:
+		return len(r.b)
+	}
+}
+
+// ElemSize returns the size in bytes of one element.
+func (r *Region) ElemSize() int { return r.kind.elemSize() }
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int { return r.Len() * r.ElemSize() }
+
+// End returns the first address past the region.
+func (r *Region) End() Addr { return r.Base + Addr(r.Size()) }
+
+// Addr returns the virtual address of element i.
+func (r *Region) Addr(i int) Addr { return r.Base + Addr(i*r.ElemSize()) }
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Int32s returns the backing slice of a KindInt32 region.
+func (r *Region) Int32s() []int32 { return r.i32 }
+
+// Int64s returns the backing slice of a KindInt64 region.
+func (r *Region) Int64s() []int64 { return r.i64 }
+
+// Float64s returns the backing slice of a KindFloat64 region.
+func (r *Region) Float64s() []float64 { return r.f64 }
+
+// Bytes returns the backing slice of a KindBytes region.
+func (r *Region) Bytes() []byte { return r.b }
+
+// word returns the value of the element covering byte offset off,
+// widened to uint64. size selects the access width for byte regions.
+func (r *Region) word(off uint64) uint64 {
+	switch r.kind {
+	case KindInt32:
+		return uint64(uint32(r.i32[off/4]))
+	case KindInt64:
+		return uint64(r.i64[off/8])
+	case KindFloat64:
+		// Float data is never used as an index; return the raw bits' integer
+		// truncation so reads are at least deterministic.
+		return uint64(r.f64[off/8])
+	default:
+		return uint64(r.b[off])
+	}
+}
+
+// Space is a write-once virtual address space. Allocate regions during
+// workload construction; the simulator then resolves word reads by address.
+//
+// Space is not safe for concurrent mutation but is safe for concurrent
+// reads once fully built.
+type Space struct {
+	regions []*Region // sorted by Base
+	next    Addr
+}
+
+// NewSpace returns an empty address space. Allocations begin at a nonzero
+// base so that address 0 is never valid.
+func NewSpace() *Space {
+	return &Space{next: 0x1000_0000}
+}
+
+// alloc reserves n elements of kind k under name and returns the region.
+func (s *Space) alloc(name string, k Kind, n int) *Region {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %q (%d)", name, n))
+	}
+	r := &Region{Name: name, Base: s.next, kind: k}
+	switch k {
+	case KindInt32:
+		r.i32 = make([]int32, n)
+	case KindInt64:
+		r.i64 = make([]int64, n)
+	case KindFloat64:
+		r.f64 = make([]float64, n)
+	default:
+		r.b = make([]byte, n)
+	}
+	size := Addr(n * k.elemSize())
+	// Round the next base up to a page boundary and leave a guard page so
+	// that off-by-one prefetches past a region never alias the next one.
+	s.next += (size + 2*PageSize - 1) &^ (PageSize - 1)
+	s.regions = append(s.regions, r)
+	return r
+}
+
+// AllocInt32 allocates a region of n int32 elements.
+func (s *Space) AllocInt32(name string, n int) *Region { return s.alloc(name, KindInt32, n) }
+
+// AllocInt64 allocates a region of n int64 elements.
+func (s *Space) AllocInt64(name string, n int) *Region { return s.alloc(name, KindInt64, n) }
+
+// AllocFloat64 allocates a region of n float64 elements.
+func (s *Space) AllocFloat64(name string, n int) *Region { return s.alloc(name, KindFloat64, n) }
+
+// AllocBytes allocates a region of n bytes.
+func (s *Space) AllocBytes(name string, n int) *Region { return s.alloc(name, KindBytes, n) }
+
+// Find returns the region containing a, or nil if a is unmapped.
+func (s *Space) Find(a Addr) *Region {
+	i := sort.Search(len(s.regions), func(i int) bool {
+		return s.regions[i].End() > a
+	})
+	if i < len(s.regions) && s.regions[i].Contains(a) {
+		return s.regions[i]
+	}
+	return nil
+}
+
+// ReadWord reads the element covering address a, widened to uint64.
+// Unmapped addresses read as zero: the hardware analog is a prefetcher
+// reading a line of garbage, and zero keeps downstream address generation
+// deterministic.
+func (s *Space) ReadWord(a Addr) uint64 {
+	r := s.Find(a)
+	if r == nil {
+		return 0
+	}
+	return r.word(uint64(a - r.Base))
+}
+
+// Mapped reports whether a falls inside any region.
+func (s *Space) Mapped(a Addr) bool { return s.Find(a) != nil }
+
+// Regions returns the allocated regions in address order. The returned
+// slice is shared; callers must not modify it.
+func (s *Space) Regions() []*Region { return s.regions }
+
+// Footprint returns the total bytes allocated across regions.
+func (s *Space) Footprint() int {
+	total := 0
+	for _, r := range s.regions {
+		total += r.Size()
+	}
+	return total
+}

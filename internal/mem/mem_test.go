@@ -1,0 +1,199 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLineMath(t *testing.T) {
+	cases := []struct {
+		a      Addr
+		line   Addr
+		id     uint64
+		offset uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{63, 0, 0, 63},
+		{64, 64, 1, 0},
+		{0x1000_0000, 0x1000_0000, 0x1000_0000 >> 6, 0},
+		{0x1000_0027, 0x1000_0000, 0x1000_0000 >> 6, 0x27},
+	}
+	for _, c := range cases {
+		if got := c.a.Line(); got != c.line {
+			t.Errorf("Addr(%v).Line() = %v, want %v", c.a, got, c.line)
+		}
+		if got := c.a.LineID(); got != c.id {
+			t.Errorf("Addr(%v).LineID() = %d, want %d", c.a, got, c.id)
+		}
+		if got := c.a.Offset(); got != c.offset {
+			t.Errorf("Addr(%v).Offset() = %d, want %d", c.a, got, c.offset)
+		}
+	}
+}
+
+func TestAddrLineProperties(t *testing.T) {
+	f := func(a uint64) bool {
+		addr := Addr(a)
+		return addr.Line()+Addr(addr.Offset()) == addr &&
+			addr.Offset() < LineSize &&
+			addr.Line().Offset() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocDisjointAndAligned(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocInt32("a", 1000)
+	b := s.AllocInt64("b", 500)
+	c := s.AllocBytes("c", 1)
+	d := s.AllocFloat64("d", 7)
+
+	regions := []*Region{a, b, c, d}
+	for i, r := range regions {
+		if r.Base%PageSize != 0 {
+			t.Errorf("region %q base %v not page aligned", r.Name, r.Base)
+		}
+		for j := i + 1; j < len(regions); j++ {
+			q := regions[j]
+			if r.Base < q.End() && q.Base < r.End() {
+				t.Errorf("regions %q and %q overlap", r.Name, q.Name)
+			}
+		}
+	}
+	// Guard page: the next region must start strictly after a full page gap.
+	if b.Base < a.End()+PageSize-Addr(a.Size()%PageSize) {
+		// The gap is at least one page by construction; check the simple bound.
+		if b.Base-a.End() < 1 {
+			t.Errorf("no guard gap between regions: a ends %v, b starts %v", a.End(), b.Base)
+		}
+	}
+}
+
+func TestRegionAddressing(t *testing.T) {
+	s := NewSpace()
+	r := s.AllocInt32("idx", 16)
+	if r.ElemSize() != 4 {
+		t.Fatalf("int32 elem size = %d, want 4", r.ElemSize())
+	}
+	if r.Size() != 64 {
+		t.Fatalf("region size = %d, want 64", r.Size())
+	}
+	if got := r.Addr(3); got != r.Base+12 {
+		t.Errorf("Addr(3) = %v, want %v", got, r.Base+12)
+	}
+	if !r.Contains(r.Base) || !r.Contains(r.End()-1) {
+		t.Error("region must contain its own endpoints")
+	}
+	if r.Contains(r.End()) {
+		t.Error("region must not contain End()")
+	}
+}
+
+func TestReadWordInt32(t *testing.T) {
+	s := NewSpace()
+	r := s.AllocInt32("b", 8)
+	for i := range r.Int32s() {
+		r.Int32s()[i] = int32(i * 100)
+	}
+	for i := 0; i < 8; i++ {
+		if got := s.ReadWord(r.Addr(i)); got != uint64(i*100) {
+			t.Errorf("ReadWord(%v) = %d, want %d", r.Addr(i), got, i*100)
+		}
+	}
+	// Mid-element reads resolve to the covering element.
+	if got := s.ReadWord(r.Addr(2) + 1); got != 200 {
+		t.Errorf("mid-element read = %d, want 200", got)
+	}
+}
+
+func TestReadWordInt64AndBytes(t *testing.T) {
+	s := NewSpace()
+	r64 := s.AllocInt64("r64", 4)
+	r64.Int64s()[3] = 0x1234_5678
+	if got := s.ReadWord(r64.Addr(3)); got != 0x1234_5678 {
+		t.Errorf("int64 read = %#x, want 0x12345678", got)
+	}
+	rb := s.AllocBytes("bits", 16)
+	rb.Bytes()[5] = 0xAB
+	if got := s.ReadWord(rb.Addr(5)); got != 0xAB {
+		t.Errorf("byte read = %#x, want 0xAB", got)
+	}
+}
+
+func TestReadWordNegativeInt32(t *testing.T) {
+	s := NewSpace()
+	r := s.AllocInt32("neg", 1)
+	r.Int32s()[0] = -1
+	// Negative indices widen as their unsigned 32-bit pattern; index arrays
+	// in the workloads are nonnegative, but the read must be deterministic.
+	if got := s.ReadWord(r.Addr(0)); got != 0xFFFF_FFFF {
+		t.Errorf("negative int32 read = %#x, want 0xFFFFFFFF", got)
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	s := NewSpace()
+	s.AllocInt32("only", 4)
+	if got := s.ReadWord(0); got != 0 {
+		t.Errorf("unmapped low read = %d, want 0", got)
+	}
+	if got := s.ReadWord(0xFFFF_FFFF_0000); got != 0 {
+		t.Errorf("unmapped high read = %d, want 0", got)
+	}
+	if s.Mapped(0) {
+		t.Error("address 0 must never be mapped")
+	}
+}
+
+func TestFindBoundaries(t *testing.T) {
+	s := NewSpace()
+	a := s.AllocInt32("a", 100)
+	b := s.AllocInt32("b", 100)
+	if got := s.Find(a.Base); got != a {
+		t.Error("Find(a.Base) != a")
+	}
+	if got := s.Find(a.End() - 1); got != a {
+		t.Error("Find(a.End()-1) != a")
+	}
+	if got := s.Find(a.End()); got != nil {
+		t.Errorf("Find(a.End()) = %v, want nil (guard page)", got.Name)
+	}
+	if got := s.Find(b.Base); got != b {
+		t.Error("Find(b.Base) != b")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	s := NewSpace()
+	s.AllocInt32("a", 100) // 400 bytes
+	s.AllocInt64("b", 10)  // 80 bytes
+	s.AllocBytes("c", 7)   // 7 bytes
+	if got := s.Footprint(); got != 487 {
+		t.Errorf("Footprint = %d, want 487", got)
+	}
+}
+
+func TestFindIsConsistentWithContains(t *testing.T) {
+	s := NewSpace()
+	var regions []*Region
+	for i := 0; i < 10; i++ {
+		regions = append(regions, s.AllocInt32("r", 57+i*13))
+	}
+	f := func(raw uint32) bool {
+		// Probe addresses around the allocated range.
+		a := Addr(0x1000_0000 + uint64(raw)%uint64(s.Footprint()*4))
+		found := s.Find(a)
+		for _, r := range regions {
+			if r.Contains(a) {
+				return found == r
+			}
+		}
+		return found == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

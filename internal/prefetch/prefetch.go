@@ -1,0 +1,185 @@
+// Package prefetch defines the hardware-prefetcher interface shared by the
+// baseline stream prefetcher, the GHB correlation prefetcher (§5.4) and the
+// IMP prefetcher (internal/core), plus the non-IMP implementations.
+//
+// A prefetcher snoops every L1 access and miss (the paper's Fig 3 "cache
+// access / cache miss" taps) and returns the prefetches it wants issued.
+// The timing simulator owns issue bandwidth, cache fills and metrics.
+package prefetch
+
+import (
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Access is one observed L1 data access.
+type Access struct {
+	PC    trace.PC
+	Addr  mem.Addr
+	Size  int
+	Store bool
+	Miss  bool // true when the access missed the L1 (including sector misses)
+	// Value is the data returned by the load, as the hardware would read it
+	// from the fetched line. Only loads carry meaningful values.
+	Value uint64
+}
+
+// Request is one prefetch the hardware wants issued.
+type Request struct {
+	Addr mem.Addr // target address; the line (or sectors) containing it is fetched
+	// Bytes is the number of bytes wanted starting at Addr. The simulator
+	// fetches the sectors covering [Addr, Addr+Bytes) in sectored caches and
+	// the whole line otherwise. 0 means a full line.
+	Bytes int
+	// Parent indexes an earlier request in the same batch that must complete
+	// before this one can issue (multi-level indirection: the child address
+	// was computed from the parent's data). -1 means independent.
+	Parent int
+	// Exclusive requests the line in Modified state (read/write predictor).
+	Exclusive bool
+}
+
+// Prefetcher observes the access stream and emits prefetch requests.
+type Prefetcher interface {
+	// Observe is called for every demand access, after the cache lookup
+	// determined hit/miss. The returned requests are issued at the current
+	// core time, subject to the per-core outstanding-prefetch limit.
+	Observe(a Access) []Request
+	// Name identifies the prefetcher in reports.
+	Name() string
+}
+
+// Null is the no-prefetching configuration.
+type Null struct{}
+
+// Observe implements Prefetcher; it never prefetches.
+func (Null) Observe(Access) []Request { return nil }
+
+// Name implements Prefetcher.
+func (Null) Name() string { return "none" }
+
+// StreamConfig parameterizes the baseline stream prefetcher attached to
+// each L1 (§5.4 Baseline).
+type StreamConfig struct {
+	Entries      int // PC-indexed table entries
+	HitThreshold int // stream hits before prefetching starts
+	MaxDistance  int // lines ahead of the demand stream
+}
+
+// DefaultStreamConfig mirrors a conventional L1 stream prefetcher.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{Entries: 16, HitThreshold: 2, MaxDistance: 4}
+}
+
+type streamEntry struct {
+	pc       trace.PC
+	lastLine uint64
+	hits     int
+	dir      int64  // +1 ascending, -1 descending
+	ahead    uint64 // furthest line already prefetched in dir
+	lru      uint64
+	valid    bool
+}
+
+// Stream is a per-PC unit-stride stream prefetcher working at cacheline
+// granularity. It captures the sequential scans of index arrays (the B[i]
+// side) but, as the paper shows, none of the indirect accesses.
+type Stream struct {
+	cfg     StreamConfig
+	entries []streamEntry
+	clock   uint64
+}
+
+// NewStream builds the baseline stream prefetcher.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.Entries <= 0 {
+		cfg = DefaultStreamConfig()
+	}
+	return &Stream{cfg: cfg, entries: make([]streamEntry, cfg.Entries)}
+}
+
+// Name implements Prefetcher.
+func (s *Stream) Name() string { return "stream" }
+
+// Observe implements Prefetcher.
+func (s *Stream) Observe(a Access) []Request {
+	s.clock++
+	line := a.Addr.LineID()
+	e := s.lookup(a.PC)
+	if e == nil {
+		e = s.victim()
+		*e = streamEntry{pc: a.PC, lastLine: line, valid: true, lru: s.clock}
+		return nil
+	}
+	e.lru = s.clock
+	switch {
+	case line == e.lastLine:
+		// Same line: neither a hit nor a break.
+		return nil
+	case line == e.lastLine+1:
+		if e.dir != 1 {
+			e.dir, e.hits, e.ahead = 1, 0, 0
+		}
+		e.hits++
+	case line == e.lastLine-1:
+		// Descending streams (e.g. backward sweeps) train the same way.
+		if e.dir != -1 {
+			e.dir, e.hits, e.ahead = -1, 0, 0
+		}
+		e.hits++
+	default:
+		// Stream broken: restart from here but keep the PC association
+		// (nested loops re-enter the same streaming instruction, §3.3.1).
+		e.lastLine = line
+		e.hits = 0
+		e.ahead = 0
+		return nil
+	}
+	e.lastLine = line
+	if e.hits < s.cfg.HitThreshold {
+		return nil
+	}
+	// Prefetch the next MaxDistance lines in the stream direction that were
+	// not already requested.
+	var reqs []Request
+	for d := 1; d <= s.cfg.MaxDistance; d++ {
+		l := line + uint64(int64(d)*e.dir)
+		if e.ahead != 0 && sameOrBeyond(e.dir, e.ahead, l) {
+			continue
+		}
+		reqs = append(reqs, Request{Addr: mem.Addr(l << mem.LineShift), Parent: -1})
+		e.ahead = l
+	}
+	return reqs
+}
+
+// sameOrBeyond reports whether line `mark` already covers line l in the
+// given direction.
+func sameOrBeyond(dir int64, mark, l uint64) bool {
+	if dir > 0 {
+		return mark >= l
+	}
+	return mark <= l
+}
+
+func (s *Stream) lookup(pc trace.PC) *streamEntry {
+	for i := range s.entries {
+		if s.entries[i].valid && s.entries[i].pc == pc {
+			return &s.entries[i]
+		}
+	}
+	return nil
+}
+
+func (s *Stream) victim() *streamEntry {
+	v := &s.entries[0]
+	for i := range s.entries {
+		if !s.entries[i].valid {
+			return &s.entries[i]
+		}
+		if s.entries[i].lru < v.lru {
+			v = &s.entries[i]
+		}
+	}
+	return v
+}

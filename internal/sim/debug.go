@@ -1,0 +1,20 @@
+package sim
+
+import "fmt"
+
+// debugFetch accumulates fetch-path latency components (development aid).
+type debugFetchT struct {
+	N                               int64
+	ReqNoC, L2Wait, Dram, Coh, Resp int64
+}
+
+var DebugFetch debugFetchT
+
+func (d debugFetchT) String() string {
+	if d.N == 0 {
+		return "no fetches"
+	}
+	return fmt.Sprintf("fetches=%d avg req=%.1f l2=%.1f dram=%.1f coh=%.1f resp=%.1f",
+		d.N, float64(d.ReqNoC)/float64(d.N), float64(d.L2Wait)/float64(d.N),
+		float64(d.Dram)/float64(d.N), float64(d.Coh)/float64(d.N), float64(d.Resp)/float64(d.N))
+}

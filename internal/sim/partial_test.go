@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// sparseTouch builds a workload with deliberately poor spatial locality:
+// every indirect access touches one 8-byte word of a distinct line, so the
+// granularity predictor must shrink to (near) single sectors.
+func sparseTouchProgram(cores int) *trace.Program {
+	s := mem.NewSpace()
+	per := 600
+	n := cores * per
+	b := s.AllocInt32("B", n)
+	aLen := 1 << 20
+	x := uint64(31)
+	for i := range b.Int32s() {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		// Indices 8 apart within a line-aligned space: element i*8 starts a
+		// new cacheline each time (float64s, line = 8 elements).
+		b.Int32s()[i] = int32((x % uint64(aLen/8)) * 8)
+	}
+	a := s.AllocFloat64("A", aLen)
+	var traces []*trace.Trace
+	for c := 0; c < cores; c++ {
+		tb := trace.NewBuilder()
+		for i := c * per; i < (c+1)*per; i++ {
+			tb.Load(1, b.Addr(i), 4, trace.KindStream)
+			tb.LoadDep(2, a.Addr(int(b.Int32s()[i])), 8, trace.KindIndirect)
+			tb.Compute(4)
+		}
+		traces = append(traces, tb.Trace())
+	}
+	return &trace.Program{Space: s, Traces: traces}
+}
+
+func TestPartialModesProgressivelyCutTraffic(t *testing.T) {
+	p := sparseTouchProgram(4)
+	impCfg := DefaultConfig(4)
+	impCfg.Prefetcher = PrefetchIMP
+	full := run(t, p, impCfg)
+
+	nocCfg := impCfg
+	nocCfg.Partial = PartialNoC
+	pnoc := run(t, p, nocCfg)
+
+	bothCfg := impCfg
+	bothCfg.Partial = PartialNoCDRAM
+	pboth := run(t, p, bothCfg)
+
+	if pnoc.NoCFlitHops >= full.NoCFlitHops {
+		t.Errorf("partial-NoC flit-hops %d not below full %d", pnoc.NoCFlitHops, full.NoCFlitHops)
+	}
+	// NoC-only mode must NOT reduce DRAM traffic (full lines from memory).
+	if pnoc.DRAMBytes < full.DRAMBytes*95/100 {
+		t.Errorf("partial-NoC cut DRAM traffic (%d vs %d); only NoC transfers should shrink",
+			pnoc.DRAMBytes, full.DRAMBytes)
+	}
+	if pboth.DRAMBytes >= full.DRAMBytes {
+		t.Errorf("partial-NoC+DRAM bytes %d not below full %d", pboth.DRAMBytes, full.DRAMBytes)
+	}
+}
+
+func TestSectorMissRefill(t *testing.T) {
+	// In partial mode a demand access to an untouched sector of a partially
+	// fetched line must refill just the missing sectors and still be
+	// counted as a miss.
+	p := sparseTouchProgram(4)
+	cfg := DefaultConfig(4)
+	cfg.Prefetcher = PrefetchIMP
+	cfg.Partial = PartialNoCDRAM
+	m := run(t, p, cfg)
+	if m.TotalMisses() == 0 {
+		t.Fatal("no misses at all")
+	}
+	if m.Cycles <= 0 {
+		t.Fatal("degenerate runtime")
+	}
+}
+
+func TestPartialHelpsWhenBandwidthBound(t *testing.T) {
+	// With sparse touches and many cores per MC, partial accessing should
+	// not be slower than full-line IMP (usually faster).
+	p := sparseTouchProgram(16)
+	impCfg := DefaultConfig(16)
+	impCfg.Prefetcher = PrefetchIMP
+	full := run(t, p, impCfg)
+	partCfg := impCfg
+	partCfg.Partial = PartialNoCDRAM
+	part := run(t, p, partCfg)
+	if float64(part.Cycles) > float64(full.Cycles)*1.1 {
+		t.Errorf("partial accessing slowed a sparse workload: %d vs %d", part.Cycles, full.Cycles)
+	}
+}

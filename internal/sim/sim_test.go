@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/cpu"
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// indirectProgram builds a canonical A[B[i]] workload on `cores` cores:
+// each core scans its slice of B and accesses A[B[i]], with scattered
+// indices, iterated `iters` times with a barrier between iterations.
+func indirectProgram(cores, perCore, iters int) *trace.Program {
+	s := mem.NewSpace()
+	n := cores * perCore
+	b := s.AllocInt32("B", n)
+	x := uint64(99991)
+	aLen := 1 << 18
+	for i := range b.Int32s() {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b.Int32s()[i] = int32(x % uint64(aLen))
+	}
+	a := s.AllocFloat64("A", aLen)
+
+	var traces []*trace.Trace
+	for c := 0; c < cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := c*perCore, (c+1)*perCore
+		for it := 0; it < iters; it++ {
+			for i := lo; i < hi; i++ {
+				tb.Load(1, b.Addr(i), 4, trace.KindStream)
+				tb.LoadDep(2, a.Addr(int(b.Int32s()[i])), 8, trace.KindIndirect)
+				tb.Compute(2)
+			}
+			tb.Barrier()
+		}
+		traces = append(traces, tb.Trace())
+	}
+	return &trace.Program{Space: s, Traces: traces}
+}
+
+// denseProgram builds a pure streaming workload (no indirection).
+func denseProgram(cores, perCore int) *trace.Program {
+	s := mem.NewSpace()
+	data := s.AllocFloat64("dense", cores*perCore)
+	var traces []*trace.Trace
+	for c := 0; c < cores; c++ {
+		tb := trace.NewBuilder()
+		for i := c * perCore; i < (c+1)*perCore; i++ {
+			tb.Load(1, data.Addr(i), 8, trace.KindStream)
+			tb.Compute(3)
+		}
+		traces = append(traces, tb.Trace())
+	}
+	return &trace.Program{Space: s, Traces: traces}
+}
+
+func run(t *testing.T, p *trace.Program, cfg Config) *Metrics {
+	t.Helper()
+	m, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func TestValidateConfig(t *testing.T) {
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(12) // not a square
+	if bad.Validate() == nil {
+		t.Error("accepted non-square core count")
+	}
+	both := DefaultConfig(16)
+	both.Ideal = true
+	both.PerfectPrefetch = true
+	if both.Validate() == nil {
+		t.Error("accepted Ideal+PerfectPrefetch")
+	}
+}
+
+func TestL2ScalingRule(t *testing.T) {
+	// §5.1: per-tile L2 = 2/√N MB.
+	cases := []struct{ cores, kb int }{{16, 512}, {64, 256}, {256, 128}}
+	for _, c := range cases {
+		cfg := DefaultConfig(c.cores)
+		if got := cfg.l2SliceBytes(); got != c.kb*1024 {
+			t.Errorf("cores=%d: L2 slice = %d, want %d KB", c.cores, got, c.kb)
+		}
+	}
+}
+
+func TestIdealRuntimeEqualsInstructionBound(t *testing.T) {
+	p := indirectProgram(4, 200, 1)
+	cfg := DefaultConfig(4)
+	cfg.Ideal = true
+	m := run(t, p, cfg)
+	// Every instruction is 1 cycle; runtime ≈ per-core instructions + barrier.
+	perCore := p.Traces[0].Instructions()
+	if m.Cycles < int64(perCore) || m.Cycles > int64(perCore)+2*cfg.BarrierLatency {
+		t.Errorf("ideal cycles = %d, want ≈ %d", m.Cycles, perCore)
+	}
+	if m.DRAMBytes != 0 || m.NoCFlitHops != 0 {
+		t.Error("ideal run produced memory traffic")
+	}
+}
+
+func TestBaselineSlowerThanIdeal(t *testing.T) {
+	p := indirectProgram(4, 400, 2)
+	ideal := DefaultConfig(4)
+	ideal.Ideal = true
+	mi := run(t, p, ideal)
+	mb := run(t, p, DefaultConfig(4))
+	if mb.Cycles <= mi.Cycles {
+		t.Errorf("baseline (%d) not slower than ideal (%d)", mb.Cycles, mi.Cycles)
+	}
+	if mb.DRAMBytes == 0 || mb.NoCFlitHops == 0 {
+		t.Error("baseline produced no traffic")
+	}
+}
+
+func TestIndirectMissesDominate(t *testing.T) {
+	// Fig 1's premise: with a large A and scattered B, indirect accesses
+	// produce most misses under a stream prefetcher.
+	p := indirectProgram(4, 800, 1)
+	m := run(t, p, DefaultConfig(4))
+	ind, str, _ := m.MissBreakdown()
+	if ind < 0.5 {
+		t.Errorf("indirect miss fraction = %.2f, want > 0.5 (stream frac %.2f)", ind, str)
+	}
+}
+
+func TestIMPBeatsBaseline(t *testing.T) {
+	p := indirectProgram(4, 800, 2)
+	base := run(t, p, DefaultConfig(4))
+
+	impCfg := DefaultConfig(4)
+	impCfg.Prefetcher = PrefetchIMP
+	mi := run(t, p, impCfg)
+
+	if mi.IMPPatterns == 0 {
+		t.Fatal("IMP detected no patterns")
+	}
+	if mi.Cycles >= base.Cycles {
+		t.Errorf("IMP (%d cycles) not faster than baseline (%d)", mi.Cycles, base.Cycles)
+	}
+	if mi.Coverage() <= base.Coverage() {
+		t.Errorf("IMP coverage %.2f not above baseline %.2f", mi.Coverage(), base.Coverage())
+	}
+}
+
+func TestPerfectPrefetchNearIdealLatency(t *testing.T) {
+	p := indirectProgram(4, 400, 1)
+	perf := DefaultConfig(4)
+	perf.PerfectPrefetch = true
+	mp := run(t, p, perf)
+	base := run(t, p, DefaultConfig(4))
+	if mp.Cycles >= base.Cycles {
+		t.Errorf("perfect prefetch (%d) not faster than baseline (%d)", mp.Cycles, base.Cycles)
+	}
+	if mp.Coverage() < 0.9 {
+		t.Errorf("perfect prefetch coverage = %.2f, want ≈ 1", mp.Coverage())
+	}
+}
+
+func TestOrderingIdealLEQPerfectLEQIMPLEQBase(t *testing.T) {
+	// The paper's global ordering: Ideal ≤ PerfPref ≤ IMP ≤ Base (runtime).
+	p := indirectProgram(4, 600, 2)
+	ideal := DefaultConfig(4)
+	ideal.Ideal = true
+	perf := DefaultConfig(4)
+	perf.PerfectPrefetch = true
+	impc := DefaultConfig(4)
+	impc.Prefetcher = PrefetchIMP
+
+	ci := run(t, p, ideal).Cycles
+	cp := run(t, p, perf).Cycles
+	cm := run(t, p, impc).Cycles
+	cb := run(t, p, DefaultConfig(4)).Cycles
+	// IMP may edge out PerfPref by a little (it moves fewer lines), so the
+	// middle comparison carries a tolerance.
+	if !(ci <= cp && float64(cp) <= float64(cm)*1.15 && cm <= cb) {
+		t.Errorf("ordering violated: ideal=%d perf=%d imp=%d base=%d", ci, cp, cm, cb)
+	}
+}
+
+func TestDenseWorkloadIMPHarmless(t *testing.T) {
+	// §6.1: on SPLASH-2-like codes with no indirection, IMP must not hurt.
+	p := denseProgram(4, 2000)
+	base := run(t, p, DefaultConfig(4))
+	impCfg := DefaultConfig(4)
+	impCfg.Prefetcher = PrefetchIMP
+	mi := run(t, p, impCfg)
+	ratio := float64(mi.Cycles) / float64(base.Cycles)
+	if ratio > 1.05 {
+		t.Errorf("IMP hurt dense workload by %.1f%%", (ratio-1)*100)
+	}
+	if mi.IMPIndirect > mi.TotalAccesses()/100 {
+		t.Errorf("IMP issued %d indirect prefetches on a dense workload", mi.IMPIndirect)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// One slow core (more work) must drag all cores' barriers.
+	s := mem.NewSpace()
+	data := s.AllocFloat64("d", 1<<16)
+	var traces []*trace.Trace
+	for c := 0; c < 4; c++ {
+		tb := trace.NewBuilder()
+		n := 10
+		if c == 0 {
+			n = 3000 // slow core
+		}
+		for i := 0; i < n; i++ {
+			tb.Load(1, data.Addr((c*4001+i*37)%(1<<16)), 8, trace.KindOther)
+		}
+		tb.Barrier()
+		tb.Load(2, data.Addr(c), 8, trace.KindOther)
+		traces = append(traces, tb.Trace())
+	}
+	p := &trace.Program{Space: s, Traces: traces}
+	m := run(t, p, DefaultConfig(4))
+	// All cores finish within a small window after the barrier.
+	var minC, maxC int64 = 1 << 62, 0
+	for _, c := range m.PerCoreCycles {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC-minC > maxC/4 {
+		t.Errorf("cores finished far apart (%d..%d) despite barrier", minC, maxC)
+	}
+}
+
+func TestSpinBarriersChargeInstructions(t *testing.T) {
+	p := indirectProgram(4, 100, 2)
+	base := run(t, p, DefaultConfig(4))
+	p2 := indirectProgram(4, 100, 2)
+	p2.SpinBarriers = true
+	spin := run(t, p2, DefaultConfig(4))
+	if spin.Instructions <= base.Instructions {
+		t.Errorf("spin barriers did not inflate instructions: %d vs %d",
+			spin.Instructions, base.Instructions)
+	}
+	if spin.SpinCycles == 0 {
+		t.Error("no spin cycles recorded")
+	}
+}
+
+func TestOoOFasterThanInOrder(t *testing.T) {
+	p := indirectProgram(4, 600, 1)
+	inorder := run(t, p, DefaultConfig(4))
+	oooCfg := DefaultConfig(4)
+	oooCfg.CoreModel = cpu.OutOfOrder
+	ooo := run(t, p, oooCfg)
+	if ooo.Cycles >= inorder.Cycles {
+		t.Errorf("OoO (%d) not faster than in-order (%d)", ooo.Cycles, inorder.Cycles)
+	}
+}
+
+func TestPartialReducesTraffic(t *testing.T) {
+	p := indirectProgram(4, 1000, 2)
+	impCfg := DefaultConfig(4)
+	impCfg.Prefetcher = PrefetchIMP
+	full := run(t, p, impCfg)
+
+	partCfg := impCfg
+	partCfg.Partial = PartialNoCDRAM
+	part := run(t, p, partCfg)
+
+	if part.NoCFlitHops >= full.NoCFlitHops {
+		t.Errorf("partial NoC traffic %d not below full %d", part.NoCFlitHops, full.NoCFlitHops)
+	}
+	if part.DRAMBytes >= full.DRAMBytes {
+		t.Errorf("partial DRAM bytes %d not below full %d", part.DRAMBytes, full.DRAMBytes)
+	}
+}
+
+func TestSWPrefetchImprovesOverBaseline(t *testing.T) {
+	// Build the indirect program with Mowry-style software prefetches.
+	s := mem.NewSpace()
+	perCore, cores := 600, 4
+	n := cores * perCore
+	b := s.AllocInt32("B", n)
+	x := uint64(7)
+	aLen := 1 << 18
+	for i := range b.Int32s() {
+		x = x*6364136223846793005 + 1442695040888963407
+		b.Int32s()[i] = int32((x >> 33) % uint64(aLen))
+	}
+	a := s.AllocFloat64("A", aLen)
+	const dist = 16
+	var plain, swpf []*trace.Trace
+	for c := 0; c < cores; c++ {
+		tp := trace.NewBuilder()
+		ts := trace.NewBuilder()
+		lo, hi := c*perCore, (c+1)*perCore
+		for i := lo; i < hi; i++ {
+			for _, tb := range []*trace.Builder{tp, ts} {
+				tb.Load(1, b.Addr(i), 4, trace.KindStream)
+				tb.LoadDep(2, a.Addr(int(b.Int32s()[i])), 8, trace.KindIndirect)
+				tb.Compute(2)
+			}
+			if i+dist < hi {
+				// prefetch A[B[i+dist]]: load B[i+dist] then prefetch.
+				ts.SWPrefetch(3, a.Addr(int(b.Int32s()[i+dist])), 3)
+			}
+		}
+		plain = append(plain, tp.Trace())
+		swpf = append(swpf, ts.Trace())
+	}
+	mBase := run(t, &trace.Program{Space: s, Traces: plain}, DefaultConfig(4))
+	mSW := run(t, &trace.Program{Space: s, Traces: swpf}, DefaultConfig(4))
+	if mSW.Cycles >= mBase.Cycles {
+		t.Errorf("software prefetch (%d) not faster than baseline (%d)", mSW.Cycles, mBase.Cycles)
+	}
+	if mSW.Instructions <= mBase.Instructions {
+		t.Error("software prefetch did not inflate the instruction count")
+	}
+}
+
+func TestCoherenceInvalidationsOnSharedWrites(t *testing.T) {
+	// All cores read one line, then core 0 writes it.
+	s := mem.NewSpace()
+	d := s.AllocInt64("shared", 8)
+	var traces []*trace.Trace
+	for c := 0; c < 4; c++ {
+		tb := trace.NewBuilder()
+		tb.Load(1, d.Addr(0), 8, trace.KindOther)
+		tb.Barrier()
+		if c == 0 {
+			tb.Store(2, d.Addr(0), 8, trace.KindOther)
+		} else {
+			tb.Compute(200)
+			tb.Load(3, d.Addr(1), 8, trace.KindOther)
+		}
+		traces = append(traces, tb.Trace())
+	}
+	m := run(t, &trace.Program{Space: s, Traces: traces}, DefaultConfig(4))
+	if m.Invalidations == 0 {
+		t.Error("no invalidations on write to shared line")
+	}
+}
+
+func TestGHBNoBenefitOnIndirect(t *testing.T) {
+	// §5.4: GHB adds nothing over stream on indirect workloads.
+	p := indirectProgram(4, 600, 1)
+	stream := run(t, p, DefaultConfig(4))
+	ghbCfg := DefaultConfig(4)
+	ghbCfg.Prefetcher = PrefetchGHB
+	ghb := run(t, p, ghbCfg)
+	// Within 5% — GHB neither helps much nor catastrophically hurts.
+	ratio := float64(ghb.Cycles) / float64(stream.Cycles)
+	if ratio < 0.9 {
+		t.Errorf("GHB unexpectedly beat stream by %.0f%%", (1-ratio)*100)
+	}
+	if ratio > 1.15 {
+		t.Errorf("GHB slowed the system by %.0f%%", (ratio-1)*100)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Prefetcher = PrefetchIMP
+	a := run(t, indirectProgram(4, 300, 2), cfg)
+	b := run(t, indirectProgram(4, 300, 2), cfg)
+	if a.Cycles != b.Cycles || a.TotalMisses() != b.TotalMisses() ||
+		a.NoCFlitHops != b.NoCFlitHops || a.DRAMBytes != b.DRAMBytes {
+		t.Errorf("non-deterministic results:\n  %v\n  %v", a, b)
+	}
+}
+
+func TestRunRejectsMismatchedCores(t *testing.T) {
+	p := indirectProgram(4, 10, 1)
+	if _, err := Run(p, DefaultConfig(16)); err == nil {
+		t.Error("accepted 4-core program on 16-core config")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := run(t, indirectProgram(4, 100, 1), DefaultConfig(4))
+	if m.String() == "" {
+		t.Error("empty metrics string")
+	}
+	if m.Throughput() <= 0 {
+		t.Error("non-positive throughput")
+	}
+}

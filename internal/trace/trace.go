@@ -1,0 +1,306 @@
+// Package trace defines the memory access trace format shared between the
+// instrumented workloads and the timing simulator.
+//
+// A trace is a per-core sequence of records. Each record is one memory
+// access annotated with the PC of the instruction (synthetic, one per static
+// load/store site), the number of non-memory instructions executed since the
+// previous record, and a ground-truth access kind used for reporting
+// (Fig 1/2 of the paper) and for the idealized configurations — the IMP
+// hardware model never consults the kind.
+package trace
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+// Kind is the ground-truth classification of an access, mirroring the
+// categories in Fig 1 of the paper.
+type Kind uint8
+
+const (
+	// KindOther is any access that is neither a streaming index read nor an
+	// indirect data read: scalars, stack-like traffic, result writes.
+	KindOther Kind = iota
+	// KindStream is a sequential scan of an index (or value) array, i.e. the
+	// B[i] side of A[B[i]].
+	KindStream
+	// KindIndirect is a data access whose address came from an index value,
+	// i.e. the A[B[i]] side.
+	KindIndirect
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStream:
+		return "stream"
+	case KindIndirect:
+		return "indirect"
+	default:
+		return "other"
+	}
+}
+
+// Flags carried by a record.
+const (
+	// FlagStore marks the access as a write.
+	FlagStore uint8 = 1 << iota
+	// FlagDepPrev marks the access as data-dependent on the immediately
+	// preceding load (used by the OoO core model: an indirect access cannot
+	// issue before its index load returns).
+	FlagDepPrev
+	// FlagSWPrefetch marks a software prefetch instruction (Mowry-style).
+	// It occupies the pipeline and injects a non-binding line fetch but
+	// never stalls.
+	FlagSWPrefetch
+	// FlagBarrier marks a synchronization point: the core waits until all
+	// cores have reached the same barrier index. Addr/PC are unused.
+	FlagBarrier
+)
+
+// PC identifies a static instruction site. Workloads allocate small dense
+// ids so prefetcher tables can key on them exactly as hardware keys on
+// instruction addresses.
+type PC uint32
+
+// Record is one entry of a core's trace. The layout is kept compact
+// (24 bytes) because traces hold millions of records.
+type Record struct {
+	Addr  mem.Addr // virtual byte address of the access
+	PC    PC       // static instruction site
+	Gap   uint16   // non-memory instructions executed before this access
+	Flags uint8
+	Kind  Kind
+	Size  uint8 // access size in bytes (1..8)
+}
+
+// IsStore reports whether the record is a write.
+func (r Record) IsStore() bool { return r.Flags&FlagStore != 0 }
+
+// IsBarrier reports whether the record is a barrier synchronization point.
+func (r Record) IsBarrier() bool { return r.Flags&FlagBarrier != 0 }
+
+// IsSWPrefetch reports whether the record is a software prefetch.
+func (r Record) IsSWPrefetch() bool { return r.Flags&FlagSWPrefetch != 0 }
+
+// DependsOnPrev reports whether the record depends on the preceding load.
+func (r Record) DependsOnPrev() bool { return r.Flags&FlagDepPrev != 0 }
+
+func (r Record) String() string {
+	op := "LD"
+	if r.IsStore() {
+		op = "ST"
+	}
+	if r.IsBarrier() {
+		return "BARRIER"
+	}
+	if r.IsSWPrefetch() {
+		op = "PF"
+	}
+	return fmt.Sprintf("%s pc=%d addr=%v size=%d kind=%s gap=%d", op, r.PC, r.Addr, r.Size, r.Kind, r.Gap)
+}
+
+// Instructions returns the number of dynamic instructions the record
+// represents: its leading compute gap plus the access itself (barriers are
+// synchronization only and gap-only fillers carry no access).
+func (r Record) Instructions() uint64 {
+	n := uint64(r.Gap)
+	if !r.IsBarrier() && !r.IsGapOnly() {
+		n++
+	}
+	return n
+}
+
+// Trace is the access sequence of one core.
+type Trace struct {
+	Records []Record
+}
+
+// Instructions returns the total dynamic instruction count of the trace.
+func (t *Trace) Instructions() uint64 {
+	var n uint64
+	for _, r := range t.Records {
+		n += r.Instructions()
+	}
+	return n
+}
+
+// MemoryAccesses returns the number of demand loads and stores (software
+// prefetches and barriers excluded).
+func (t *Trace) MemoryAccesses() uint64 {
+	var n uint64
+	for _, r := range t.Records {
+		if !r.IsBarrier() && !r.IsSWPrefetch() {
+			n++
+		}
+	}
+	return n
+}
+
+// KindCounts returns the number of demand accesses per kind.
+func (t *Trace) KindCounts() map[Kind]uint64 {
+	m := make(map[Kind]uint64, 3)
+	for _, r := range t.Records {
+		if r.IsBarrier() || r.IsSWPrefetch() {
+			continue
+		}
+		m[r.Kind]++
+	}
+	return m
+}
+
+// Builder accumulates one core's trace. It implements the instrumentation
+// interface the workloads program against.
+type Builder struct {
+	t          Trace
+	pendingGap uint64
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// flushGap folds the accumulated compute gap into the next record's Gap
+// field. Gaps wider than the 16-bit field spill into gap-only filler
+// records so no compute time is lost.
+func (b *Builder) flushGap() uint16 {
+	const maxGap = 1<<16 - 1
+	for b.pendingGap > maxGap {
+		b.t.Records = append(b.t.Records, Record{Gap: maxGap, Flags: flagGapOnly})
+		b.pendingGap -= maxGap
+	}
+	g := uint16(b.pendingGap)
+	b.pendingGap = 0
+	return g
+}
+
+// flagGapOnly marks an internal record that carries only compute cycles.
+// It is not exported: the simulator treats it as Gap instructions and no
+// memory access.
+const flagGapOnly uint8 = 1 << 7
+
+// IsGapOnly reports whether the record only carries compute instructions.
+func (r Record) IsGapOnly() bool { return r.Flags&flagGapOnly != 0 }
+
+// Load appends a load of size bytes at addr.
+func (b *Builder) Load(pc PC, addr mem.Addr, size int, kind Kind) {
+	b.t.Records = append(b.t.Records, Record{
+		Addr: addr, PC: pc, Gap: b.flushGap(), Kind: kind, Size: uint8(size),
+	})
+}
+
+// LoadDep appends a load that depends on the immediately preceding load
+// (an indirect access consuming the just-read index).
+func (b *Builder) LoadDep(pc PC, addr mem.Addr, size int, kind Kind) {
+	b.t.Records = append(b.t.Records, Record{
+		Addr: addr, PC: pc, Gap: b.flushGap(), Kind: kind, Size: uint8(size),
+		Flags: FlagDepPrev,
+	})
+}
+
+// Store appends a store of size bytes at addr.
+func (b *Builder) Store(pc PC, addr mem.Addr, size int, kind Kind) {
+	b.t.Records = append(b.t.Records, Record{
+		Addr: addr, PC: pc, Gap: b.flushGap(), Kind: kind, Size: uint8(size),
+		Flags: FlagStore,
+	})
+}
+
+// SWPrefetch appends a software prefetch of the line containing addr and
+// charges overhead extra instructions for computing the prefetch address
+// (the paper's §6.1.2 instruction overhead).
+func (b *Builder) SWPrefetch(pc PC, addr mem.Addr, overhead int) {
+	b.Compute(overhead)
+	b.t.Records = append(b.t.Records, Record{
+		Addr: addr, PC: pc, Gap: b.flushGap(), Kind: KindOther, Size: 8,
+		Flags: FlagSWPrefetch,
+	})
+}
+
+// Compute charges n non-memory instructions.
+func (b *Builder) Compute(n int) {
+	if n > 0 {
+		b.pendingGap += uint64(n)
+	}
+}
+
+// Barrier appends a global synchronization point.
+func (b *Builder) Barrier() {
+	b.t.Records = append(b.t.Records, Record{Gap: b.flushGap(), Flags: FlagBarrier})
+}
+
+// Trace finalizes and returns the built trace. Any trailing compute gap is
+// attached to a final gap-only record.
+func (b *Builder) Trace() *Trace {
+	if b.pendingGap > 0 {
+		g := b.flushGap()
+		if g > 0 {
+			b.t.Records = append(b.t.Records, Record{Gap: g, Flags: flagGapOnly})
+		}
+	}
+	return &b.t
+}
+
+// Program is a set of per-core traces plus the address space they reference.
+type Program struct {
+	Space  *mem.Space
+	Traces []*Trace // one per core
+	// SpinBarriers marks that cores busy-wait (consuming instructions) at
+	// barriers instead of sleeping; used by SymGS.
+	SpinBarriers bool
+}
+
+// Cores returns the number of cores the program was traced for.
+func (p *Program) Cores() int { return len(p.Traces) }
+
+// TotalInstructions sums instruction counts across cores.
+func (p *Program) TotalInstructions() uint64 {
+	var n uint64
+	for _, t := range p.Traces {
+		n += t.Instructions()
+	}
+	return n
+}
+
+// TotalAccesses sums demand memory accesses across cores.
+func (p *Program) TotalAccesses() uint64 {
+	var n uint64
+	for _, t := range p.Traces {
+		n += t.MemoryAccesses()
+	}
+	return n
+}
+
+// Validate checks structural invariants: barrier counts match across cores
+// and every access lands in the mapped address space. It returns the first
+// violation found.
+func (p *Program) Validate() error {
+	if len(p.Traces) == 0 {
+		return fmt.Errorf("trace: program has no cores")
+	}
+	barriers := -1
+	for cid, t := range p.Traces {
+		n := 0
+		for i, r := range t.Records {
+			if r.IsBarrier() {
+				n++
+				continue
+			}
+			if r.IsGapOnly() {
+				continue
+			}
+			if r.Size == 0 || r.Size > 64 {
+				return fmt.Errorf("trace: core %d record %d has bad size %d", cid, i, r.Size)
+			}
+			if p.Space != nil && !p.Space.Mapped(r.Addr) {
+				return fmt.Errorf("trace: core %d record %d (%v) touches unmapped address", cid, i, r)
+			}
+		}
+		if barriers == -1 {
+			barriers = n
+		} else if n != barriers {
+			return fmt.Errorf("trace: core %d has %d barriers, core 0 has %d", cid, n, barriers)
+		}
+	}
+	return nil
+}

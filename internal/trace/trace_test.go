@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/impsim/imp/internal/mem"
+)
+
+func TestBuilderBasicSequence(t *testing.T) {
+	b := NewBuilder()
+	b.Compute(3)
+	b.Load(1, 0x1000, 4, KindStream)
+	b.LoadDep(2, 0x2000, 8, KindIndirect)
+	b.Compute(5)
+	b.Store(3, 0x3000, 8, KindOther)
+	tr := b.Trace()
+
+	if len(tr.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(tr.Records))
+	}
+	r0, r1, r2 := tr.Records[0], tr.Records[1], tr.Records[2]
+	if r0.Gap != 3 || r0.PC != 1 || r0.Kind != KindStream || r0.IsStore() {
+		t.Errorf("bad first record: %v", r0)
+	}
+	if !r1.DependsOnPrev() || r1.Kind != KindIndirect {
+		t.Errorf("bad dependent record: %v", r1)
+	}
+	if !r2.IsStore() || r2.Gap != 5 {
+		t.Errorf("bad store record: %v", r2)
+	}
+}
+
+func TestInstructionsCounting(t *testing.T) {
+	b := NewBuilder()
+	b.Compute(10)
+	b.Load(1, 0x1000, 4, KindOther) // 10 + 1
+	b.Barrier()                     // 0
+	b.Compute(2)
+	b.Store(2, 0x1040, 8, KindOther) // 2 + 1
+	tr := b.Trace()
+	if got := tr.Instructions(); got != 14 {
+		t.Errorf("Instructions = %d, want 14", got)
+	}
+	if got := tr.MemoryAccesses(); got != 2 {
+		t.Errorf("MemoryAccesses = %d, want 2", got)
+	}
+}
+
+func TestSWPrefetchChargesOverhead(t *testing.T) {
+	b := NewBuilder()
+	b.SWPrefetch(9, 0x4000, 3)
+	tr := b.Trace()
+	if len(tr.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(tr.Records))
+	}
+	r := tr.Records[0]
+	if !r.IsSWPrefetch() {
+		t.Error("record not marked as software prefetch")
+	}
+	// 3 overhead instructions + the prefetch instruction itself.
+	if got := tr.Instructions(); got != 4 {
+		t.Errorf("Instructions = %d, want 4", got)
+	}
+	if got := tr.MemoryAccesses(); got != 0 {
+		t.Errorf("software prefetch must not count as demand access, got %d", got)
+	}
+}
+
+func TestGapOverflowSplits(t *testing.T) {
+	b := NewBuilder()
+	b.Compute(200_000) // > 3 * 65535
+	b.Load(1, 0x1000, 4, KindOther)
+	tr := b.Trace()
+	if got := tr.Instructions(); got != 200_001 {
+		t.Errorf("Instructions = %d, want 200001", got)
+	}
+	gapOnly := 0
+	for _, r := range tr.Records {
+		if r.IsGapOnly() {
+			gapOnly++
+			if r.Gap == 0 {
+				t.Error("gap-only record with zero gap")
+			}
+		}
+	}
+	if gapOnly != 3 {
+		t.Errorf("gap-only records = %d, want 3", gapOnly)
+	}
+}
+
+func TestTrailingGapPreserved(t *testing.T) {
+	b := NewBuilder()
+	b.Load(1, 0x1000, 4, KindOther)
+	b.Compute(42)
+	tr := b.Trace()
+	if got := tr.Instructions(); got != 43 {
+		t.Errorf("Instructions = %d, want 43", got)
+	}
+}
+
+func TestKindCounts(t *testing.T) {
+	b := NewBuilder()
+	b.Load(1, 0x1000, 4, KindStream)
+	b.Load(1, 0x1004, 4, KindStream)
+	b.LoadDep(2, 0x2000, 8, KindIndirect)
+	b.Store(3, 0x3000, 8, KindOther)
+	b.SWPrefetch(4, 0x5000, 2)
+	b.Barrier()
+	m := b.Trace().KindCounts()
+	if m[KindStream] != 2 || m[KindIndirect] != 1 || m[KindOther] != 1 {
+		t.Errorf("KindCounts = %v, want stream:2 indirect:1 other:1", m)
+	}
+}
+
+func TestInstructionsPropertyNonNegativeAndAdditive(t *testing.T) {
+	f := func(gaps []uint16) bool {
+		b := NewBuilder()
+		var want uint64
+		for _, g := range gaps {
+			b.Compute(int(g))
+			b.Load(1, 0x1000, 4, KindOther)
+			want += uint64(g) + 1
+		}
+		return b.Trace().Instructions() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildValidProgram(t *testing.T) *Program {
+	t.Helper()
+	s := mem.NewSpace()
+	r := s.AllocInt32("data", 1024)
+	var traces []*Trace
+	for c := 0; c < 4; c++ {
+		b := NewBuilder()
+		b.Load(1, r.Addr(c), 4, KindStream)
+		b.Barrier()
+		b.Store(2, r.Addr(c+16), 4, KindOther)
+		traces = append(traces, b.Trace())
+	}
+	return &Program{Space: s, Traces: traces}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := buildValidProgram(t)
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+	if p.Cores() != 4 {
+		t.Errorf("Cores = %d, want 4", p.Cores())
+	}
+}
+
+func TestValidateRejectsBarrierMismatch(t *testing.T) {
+	p := buildValidProgram(t)
+	b := NewBuilder()
+	b.Load(1, p.Space.Regions()[0].Addr(0), 4, KindOther)
+	// No barrier on this core.
+	p.Traces[0] = b.Trace()
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted mismatched barrier counts")
+	}
+}
+
+func TestValidateRejectsUnmappedAddress(t *testing.T) {
+	p := buildValidProgram(t)
+	b := NewBuilder()
+	b.Load(1, 0xDEAD_0000_0000, 8, KindOther)
+	b.Barrier()
+	p.Traces[2] = b.Trace()
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted unmapped address")
+	}
+}
+
+func TestValidateRejectsEmptyProgram(t *testing.T) {
+	p := &Program{}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted empty program")
+	}
+}
+
+func TestProgramTotals(t *testing.T) {
+	p := buildValidProgram(t)
+	if got := p.TotalAccesses(); got != 8 {
+		t.Errorf("TotalAccesses = %d, want 8", got)
+	}
+	if got := p.TotalInstructions(); got != 8 {
+		t.Errorf("TotalInstructions = %d, want 8", got)
+	}
+}

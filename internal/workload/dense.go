@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Dense is the control workload for the paper's §6.1 SPLASH-2 experiment:
+// a blocked dense stencil with streaming and strided accesses but no
+// indirection. IMP must neither trigger nor hurt here.
+const (
+	densePCLoadA trace.PC = 0x180 + iota
+	densePCLoadB
+	densePCStore
+)
+
+func init() {
+	register(&Workload{
+		Name:        "dense",
+		Description: "dense streaming stencil (SPLASH-2 stand-in): no indirection; IMP must be harmless",
+		Build:       buildDense,
+	})
+}
+
+func buildDense(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	n := opt.scaled(1<<19, 64*opt.Cores) // elements
+	s := mem.NewSpace()
+	a := s.AllocFloat64("a", n)
+	bArr := s.AllocFloat64("b", n)
+	out := s.AllocFloat64("out", n)
+	for i := 0; i < n; i++ {
+		a.Float64s()[i] = float64(i)
+		bArr.Float64s()[i] = float64(n - i)
+	}
+
+	traces := make([]*trace.Trace, opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := partition(n, opt.Cores, c)
+		for i := lo; i < hi; i++ {
+			tb.Load(densePCLoadA, a.Addr(i), 8, trace.KindStream)
+			tb.Load(densePCLoadB, bArr.Addr(i), 8, trace.KindStream)
+			out.Float64s()[i] = a.Float64s()[i]*0.5 + bArr.Float64s()[i]*0.5
+			tb.Store(densePCStore, out.Addr(i), 8, trace.KindOther)
+			tb.Compute(6)
+		}
+		tb.Barrier()
+		traces[c] = tb.Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Graph is a CSR adjacency structure shared by the graph kernels and the
+// sparse matrices (cols double as column indices).
+type Graph struct {
+	N      int
+	RowPtr []int64 // length N+1
+	Col    []int32 // length nnz
+}
+
+// NNZ returns the number of edges / non-zeros.
+func (g *Graph) NNZ() int { return len(g.Col) }
+
+// Degree returns the out-degree of vertex v.
+func (g *Graph) Degree(v int) int { return int(g.RowPtr[v+1] - g.RowPtr[v]) }
+
+// Row returns the adjacency slice of vertex v.
+func (g *Graph) Row(v int) []int32 { return g.Col[g.RowPtr[v]:g.RowPtr[v+1]] }
+
+// GenRMAT generates a power-law graph with n vertices and ~n*avgDeg edges
+// using R-MAT recursive quadrant sampling (Graph500's generator family).
+// Self-loops are kept (harmless for access-pattern purposes); duplicate
+// edges are removed. Adjacency lists are sorted.
+func GenRMAT(n, avgDeg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	size := 1 << levels
+	edges := n * avgDeg
+
+	adj := make([][]int32, n)
+	const a, b, c = 0.57, 0.19, 0.19 // d = 0.05
+	for e := 0; e < edges; e++ {
+		src, dst := 0, 0
+		for bit := size / 2; bit >= 1; bit /= 2 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+			case r < a+b:
+				dst += bit
+			case r < a+b+c:
+				src += bit
+			default:
+				src += bit
+				dst += bit
+			}
+		}
+		if src >= n || dst >= n {
+			continue
+		}
+		adj[src] = append(adj[src], int32(dst))
+	}
+	return fromAdj(adj)
+}
+
+// GenUniform generates a uniform random graph (each edge endpoint uniform).
+func GenUniform(n, avgDeg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	for e := 0; e < n*avgDeg; e++ {
+		src := rng.Intn(n)
+		adj[src] = append(adj[src], int32(rng.Intn(n)))
+	}
+	return fromAdj(adj)
+}
+
+// GenDAG generates an acyclic directed power-law graph for triangle
+// counting: each undirected edge is oriented from its lower-degree endpoint
+// to its higher-degree one (ties by id). This is the standard arboricity
+// orientation ([7] in the paper): out-degrees stay bounded even at hubs, so
+// the intersection work is O(E^1.5) rather than quadratic in hub degree.
+func GenDAG(n, avgDeg int, seed int64) *Graph {
+	g := GenRMAT(n, avgDeg, seed)
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] += int32(g.Degree(v))
+		for _, w := range g.Row(v) {
+			deg[w]++
+		}
+	}
+	less := func(a, b int32) bool {
+		if deg[a] != deg[b] {
+			return deg[a] < deg[b]
+		}
+		return a < b
+	}
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Row(v) {
+			if int(w) == v {
+				continue
+			}
+			if less(int32(v), w) {
+				adj[v] = append(adj[v], w)
+			} else {
+				adj[w] = append(adj[w], int32(v))
+			}
+		}
+	}
+	return fromAdj(adj)
+}
+
+// GenStencil27 builds the HPCG-style sparse matrix: a 27-point stencil on a
+// k×k×k grid (n = k³ rows, up to 27 nnz per row), symmetric and banded.
+func GenStencil27(k int) *Graph {
+	n := k * k * k
+	adj := make([][]int32, n)
+	at := func(x, y, z int) int { return (z*k+y)*k + x }
+	for z := 0; z < k; z++ {
+		for y := 0; y < k; y++ {
+			for x := 0; x < k; x++ {
+				row := at(x, y, z)
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							nx, ny, nz := x+dx, y+dy, z+dz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= k || ny >= k || nz >= k {
+								continue
+							}
+							adj[row] = append(adj[row], int32(at(nx, ny, nz)))
+						}
+					}
+				}
+			}
+		}
+	}
+	return fromAdj(adj)
+}
+
+// GenBanded builds a banded sparse matrix: n rows, nnzPerRow nonzeros
+// spread uniformly inside a band of `band` columns around the diagonal,
+// plus the diagonal itself.
+//
+// This stands in for a *large* HPCG stencil grid: on a full-size 192³ grid
+// the x-vector window touched by one row span (~2·192² elements) far
+// exceeds a 32 KB L1, so x[col[k]] misses dominate. A literally
+// scaled-down 27-point grid would have a window that fits in the L1 and
+// invert that premise, so we scale the band, not the stencil.
+func GenBanded(n, nnzPerRow, band int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, n)
+	for r := 0; r < n; r++ {
+		row := make([]int32, 0, nnzPerRow)
+		row = append(row, int32(r)) // diagonal
+		for k := 1; k < nnzPerRow; k++ {
+			c := r + rng.Intn(2*band+1) - band
+			if c < 0 {
+				c = 0
+			}
+			if c >= n {
+				c = n - 1
+			}
+			row = append(row, int32(c))
+		}
+		adj[r] = row
+	}
+	return fromAdj(adj)
+}
+
+func fromAdj(adj [][]int32) *Graph {
+	n := len(adj)
+	g := &Graph{N: n, RowPtr: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		row := adj[v]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		// Deduplicate.
+		out := row[:0]
+		var prev int32 = -1
+		for _, w := range row {
+			if w != prev {
+				out = append(out, w)
+				prev = w
+			}
+		}
+		adj[v] = out
+		g.RowPtr[v+1] = g.RowPtr[v] + int64(len(out))
+	}
+	g.Col = make([]int32, g.RowPtr[n])
+	for v := 0; v < n; v++ {
+		copy(g.Col[g.RowPtr[v]:], adj[v])
+	}
+	return g
+}
+
+// BFSLevels runs a breadth-first search from root and returns the frontier
+// of each level (Graph500's reference kernel, executed for real so traces
+// reflect the true traversal).
+func BFSLevels(g *Graph, root int) [][]int32 {
+	visited := make([]bool, g.N)
+	visited[root] = true
+	frontier := []int32{int32(root)}
+	var levels [][]int32
+	for len(frontier) > 0 {
+		levels = append(levels, frontier)
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Row(int(u)) {
+				if !visited[v] {
+					visited[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+// Ratings is the SGD input: nr (user, item) pairs with ratings.
+type Ratings struct {
+	Users, Items int
+	U, I         []int32
+}
+
+// GenRatings samples nr ratings over users×items with a power-law item
+// popularity (a few hot items, like real recommender data).
+func GenRatings(users, items, nr int, seed int64) *Ratings {
+	rng := rand.New(rand.NewSource(seed))
+	r := &Ratings{Users: users, Items: items, U: make([]int32, nr), I: make([]int32, nr)}
+	for k := 0; k < nr; k++ {
+		r.U[k] = int32(rng.Intn(users))
+		// Quadratic skew for item popularity.
+		f := rng.Float64()
+		r.I[k] = int32(float64(items-1) * f * f)
+	}
+	return r
+}

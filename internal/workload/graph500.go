@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Graph500 (§5.3): level-synchronized BFS over an R-MAT power-law graph.
+// Scanning the frontier yields indirect row-pointer reads (rowptr[F[i]] and
+// rowptr[F[i]+1]: multi-way, coeff 8); scanning adjacency yields indirect
+// visited-bit probes (coeff 1/8).
+const (
+	bfsPCFrontier trace.PC = 0x130 + iota
+	bfsPCRowPtr
+	bfsPCRowPtr2
+	bfsPCCol
+	bfsPCVisited
+	bfsPCVisStore
+	bfsPCNFStore
+	bfsPCPref
+)
+
+func init() {
+	register(&Workload{
+		Name:        "graph500",
+		Description: "Graph500 BFS on an R-MAT graph; indirect rowptr[F[i]] (coeff 8) and visited-bit probes (coeff 1/8)",
+		Build:       buildGraph500,
+	})
+}
+
+func buildGraph500(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	// The visited bitmap (n/8 bytes) must be large enough that concurrent
+	// discovery stores from different cores rarely collide on a line, as at
+	// Graph500 scale; a tiny bitmap would put the coherence storm, not the
+	// indirection, in charge.
+	n := opt.scaled(262144, 64*opt.Cores)
+	const avgDeg = 10
+	g := GenRMAT(n, avgDeg, opt.Seed)
+
+	// Pick a root with non-trivial reach.
+	root := 0
+	for v := 0; v < n; v++ {
+		if g.Degree(v) > g.Degree(root) {
+			root = v
+		}
+	}
+	levels := BFSLevels(g, root)
+	if len(levels) < 2 {
+		return nil, fmt.Errorf("graph500: degenerate BFS (%d levels)", len(levels))
+	}
+
+	s := mem.NewSpace()
+	rowptr := s.AllocInt64("rowptr", n+1)
+	copy(rowptr.Int64s(), g.RowPtr)
+	col := s.AllocInt32("col", g.NNZ())
+	copy(col.Int32s(), g.Col)
+	visited := s.AllocBytes("visited", (n+7)/8)
+	// Write-once frontier arenas, one region per BFS level, so the memory
+	// image the prefetcher reads matches what the traced execution saw.
+	frontier := make([]*mem.Region, len(levels))
+	for l, f := range levels {
+		frontier[l] = s.AllocInt32("frontier", len(f))
+		copy(frontier[l].Int32s(), f)
+	}
+
+	seen := make([]bool, n)
+	seen[root] = true
+	traces := make([]*trace.Trace, opt.Cores)
+	builders := make([]*trace.Builder, opt.Cores)
+	for c := range builders {
+		builders[c] = trace.NewBuilder()
+	}
+	// next[c] tracks each core's write cursor into the next frontier arena.
+	for l := 0; l < len(levels); l++ {
+		f := levels[l]
+		var nextPos int
+		for c := 0; c < opt.Cores; c++ {
+			tb := builders[c]
+			lo, hi := partition(len(f), opt.Cores, c)
+			for i := lo; i < hi; i++ {
+				u := int(f[i])
+				tb.Load(bfsPCFrontier, frontier[l].Addr(i), 4, trace.KindStream)
+				tb.LoadDep(bfsPCRowPtr, rowptr.Addr(u), 8, trace.KindIndirect)
+				tb.LoadDep(bfsPCRowPtr2, rowptr.Addr(u+1), 8, trace.KindIndirect)
+				tb.Compute(2)
+				base := int(g.RowPtr[u])
+				row := g.Row(u)
+				for k, v := range row {
+					tb.Load(bfsPCCol, col.Addr(base+k), 4, trace.KindStream)
+					tb.LoadDep(bfsPCVisited, visited.Addr(int(v)>>3), 1, trace.KindIndirect)
+					tb.Compute(4)
+					if opt.SoftwarePrefetch && k+swDist(opt, len(row)) < len(row) {
+						pv := row[k+swDist(opt, len(row))]
+						tb.SWPrefetch(bfsPCPref, visited.Addr(int(pv)>>3), SWPrefetchOverhead)
+					}
+					if !seen[v] {
+						seen[v] = true
+						tb.Store(bfsPCVisStore, visited.Addr(int(v)>>3), 1, trace.KindIndirect)
+						if l+1 < len(levels) {
+							tb.Store(bfsPCNFStore, frontier[l+1].Addr(nextPos), 4, trace.KindOther)
+							nextPos++
+						}
+						tb.Compute(6)
+					}
+				}
+			}
+			tb.Barrier()
+		}
+	}
+	for c := range builders {
+		traces[c] = builders[c].Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// LSH (§5.3): locality-sensitive hashing for nearest-neighbor search. The
+// dominant filtering phase scans each query's candidate list (matching hash
+// buckets concatenated) and computes distances to the full data points —
+// indirect accesses over the entire dataset with the candidate list as the
+// index array (precomputed element offsets, coeff 8).
+const (
+	lshPCCand trace.PC = 0x150 + iota
+	lshPCPoint
+	lshPCPointRest
+	lshPCQuery
+	lshPCPref
+)
+
+// lshDims is the data dimensionality (16 doubles = 128 B per point).
+const lshDims = 16
+
+func init() {
+	register(&Workload{
+		Name:        "lsh",
+		Description: "LSH nearest-neighbor filtering; indirect dataset-row reads off candidate lists (coeff 8)",
+		Build:       buildLSH,
+	})
+}
+
+func buildLSH(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	points := opt.scaled(16384, 8*opt.Cores)
+	queries := opt.scaled(1024, opt.Cores)
+	const tables, candPerTable = 4, 24
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	s := mem.NewSpace()
+	data := s.AllocFloat64("data", points*lshDims)
+	for i := range data.Float64s() {
+		data.Float64s()[i] = rng.Float64()
+	}
+	qdata := s.AllocFloat64("queries", queries*lshDims)
+	for i := range qdata.Float64s() {
+		qdata.Float64s()[i] = rng.Float64()
+	}
+
+	// Bucket lookups concatenate per-table candidate lists. The lists are
+	// materialized in one write-once arena so the memory image matches the
+	// traced execution. Candidates store precomputed row offsets.
+	candStart := make([]int, queries+1)
+	var cands []int32
+	for q := 0; q < queries; q++ {
+		candStart[q] = len(cands)
+		for t := 0; t < tables; t++ {
+			// Hash collisions cluster around a pseudo-random bucket center.
+			center := rng.Intn(points)
+			for j := 0; j < candPerTable; j++ {
+				p := (center + j*j*31) % points
+				cands = append(cands, int32(p*lshDims))
+			}
+		}
+	}
+	candStart[queries] = len(cands)
+	candidates := s.AllocInt32("candidates", len(cands))
+	copy(candidates.Int32s(), cands)
+
+	const rowBytes = lshDims * 8
+	traces := make([]*trace.Trace, opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := partition(queries, opt.Cores, c)
+		for q := lo; q < hi; q++ {
+			// Hash the query (compute) and read the query point.
+			tb.Load(lshPCQuery, qdata.Addr(q*lshDims), 8, trace.KindOther)
+			tb.Compute(20 * tables)
+			start, end := candStart[q], candStart[q+1]
+			for k := start; k < end; k++ {
+				off := int(cands[k])
+				tb.Load(lshPCCand, candidates.Addr(k), 4, trace.KindStream)
+				rowLoads(tb, lshPCPoint, lshPCPointRest, data.Addr(off), rowBytes)
+				// Distance computation then threshold compare.
+				d := 0.0
+				for f := 0; f < lshDims; f++ {
+					diff := data.Float64s()[off+f] - qdata.Float64s()[q*lshDims+f]
+					d += diff * diff
+				}
+				_ = d
+				tb.Compute(2*lshDims + 8)
+				if opt.SoftwarePrefetch && k+opt.SWDistance < end {
+					tb.SWPrefetch(lshPCPref, data.Addr(int(cands[k+opt.SWDistance])), SWPrefetchOverhead)
+				}
+			}
+		}
+		traces[c] = tb.Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}

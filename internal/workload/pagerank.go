@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Pagerank (§5.3): iterative rank updates over a power-law web graph in
+// CSR form. The inner loop reads each neighbor's rank and degree —
+// two indirect patterns (multi-way) off the column-index stream.
+const (
+	prPCRowPtr trace.PC = 0x110 + iota
+	prPCCol
+	prPCRank
+	prPCDeg
+	prPCStore
+	prPCPref
+)
+
+func init() {
+	register(&Workload{
+		Name:        "pagerank",
+		Description: "PageRank over an R-MAT web graph; indirect rank[col[e]] and deg[col[e]] (multi-way, coeff 8)",
+		Build:       buildPagerank,
+	})
+}
+
+func buildPagerank(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	n := opt.scaled(16384, 4*opt.Cores)
+	const avgDeg, iters = 8, 2
+	g := GenRMAT(n, avgDeg, opt.Seed)
+
+	s := mem.NewSpace()
+	rowptr := s.AllocInt64("rowptr", n+1)
+	copy(rowptr.Int64s(), g.RowPtr)
+	col := s.AllocInt32("col", g.NNZ())
+	copy(col.Int32s(), g.Col)
+	deg := s.AllocFloat64("deg", n)
+	rank := [2]*mem.Region{s.AllocFloat64("rank0", n), s.AllocFloat64("rank1", n)}
+	for v := 0; v < n; v++ {
+		deg.Float64s()[v] = float64(g.Degree(v))
+		rank[0].Float64s()[v] = 1.0 / float64(n)
+	}
+
+	traces := make([]*trace.Trace, opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := partition(n, opt.Cores, c)
+		for it := 0; it < iters; it++ {
+			src, dst := rank[it%2], rank[(it+1)%2]
+			for v := lo; v < hi; v++ {
+				tb.Load(prPCRowPtr, rowptr.Addr(v), 8, trace.KindStream)
+				start, end := g.RowPtr[v], g.RowPtr[v+1]
+				sum := 0.0
+				for e := start; e < end; e++ {
+					u := int(g.Col[e])
+					tb.Load(prPCCol, col.Addr(int(e)), 4, trace.KindStream)
+					tb.LoadDep(prPCRank, src.Addr(u), 8, trace.KindIndirect)
+					tb.LoadDep(prPCDeg, deg.Addr(u), 8, trace.KindIndirect)
+					if d := deg.Float64s()[u]; d > 0 {
+						sum += src.Float64s()[u] / d
+					}
+					tb.Compute(20)
+					if opt.SoftwarePrefetch {
+						pe := e + int64(swDist(opt, int(end-start)))
+						if pe < end {
+							pu := int(g.Col[pe])
+							tb.SWPrefetch(prPCPref, src.Addr(pu), SWPrefetchOverhead)
+							tb.SWPrefetch(prPCPref, deg.Addr(pu), SWPrefetchOverhead)
+						}
+					}
+				}
+				dst.Float64s()[v] = 0.15/float64(n) + 0.85*sum
+				tb.Store(prPCStore, dst.Addr(v), 8, trace.KindOther)
+				tb.Compute(24)
+			}
+			tb.Barrier()
+		}
+		traces[c] = tb.Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"sort"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// SGD collaborative filtering (§5.3): stochastic gradient descent on the
+// matrix-factorization problem. For each rating (u, i) the kernel reads the
+// user row U[u] and the item row V[i] (16 features each), computes the
+// prediction error and writes both rows back. The index arrays store
+// precomputed element offsets (u×F), as optimized sparse codes do, so the
+// indirect coefficient stays 8 (shift 3).
+const (
+	sgdPCUOff trace.PC = 0x140 + iota
+	sgdPCIOff
+	sgdPCRating
+	sgdPCURow
+	sgdPCURowRest
+	sgdPCVRow
+	sgdPCVRowRest
+	sgdPCUStore
+	sgdPCUStoreRest
+	sgdPCVStore
+	sgdPCVStoreRest
+	sgdPCPref
+)
+
+// sgdFeatures is the factorization rank (16 doubles = 128 B per row).
+const sgdFeatures = 16
+
+func init() {
+	register(&Workload{
+		Name:        "sgd",
+		Description: "SGD matrix factorization; indirect user/item feature-row accesses (coeff 8 via precomputed offsets)",
+		Build:       buildSGD,
+	})
+}
+
+func buildSGD(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	users := opt.scaled(8192, 2*opt.Cores)
+	items := opt.scaled(4096, 2*opt.Cores)
+	nr := opt.scaled(65536, 8*opt.Cores)
+	r := GenRatings(users, items, nr, opt.Seed)
+	// Partition ratings by user (contiguous user ranges per core), as
+	// parallel SGD implementations do: user rows stay core-private and only
+	// item rows are write-shared.
+	sort.Stable(byUser{r})
+
+	s := mem.NewSpace()
+	uoff := s.AllocInt32("uoff", nr)
+	ioff := s.AllocInt32("ioff", nr)
+	rating := s.AllocFloat64("rating", nr)
+	u := s.AllocFloat64("U", users*sgdFeatures)
+	v := s.AllocFloat64("V", items*sgdFeatures)
+	for k := 0; k < nr; k++ {
+		uoff.Int32s()[k] = r.U[k] * sgdFeatures
+		ioff.Int32s()[k] = r.I[k] * sgdFeatures
+		rating.Float64s()[k] = float64(k%5) + 1
+	}
+	for k := range u.Float64s() {
+		u.Float64s()[k] = 0.1
+	}
+	for k := range v.Float64s() {
+		v.Float64s()[k] = 0.1
+	}
+
+	const rowBytes = sgdFeatures * 8
+	traces := make([]*trace.Trace, opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := partition(nr, opt.Cores, c)
+		for k := lo; k < hi; k++ {
+			uo, io := int(uoff.Int32s()[k]), int(ioff.Int32s()[k])
+			tb.Load(sgdPCUOff, uoff.Addr(k), 4, trace.KindStream)
+			tb.Load(sgdPCIOff, ioff.Addr(k), 4, trace.KindStream)
+			tb.Load(sgdPCRating, rating.Addr(k), 8, trace.KindStream)
+			if opt.SoftwarePrefetch && k+opt.SWDistance < hi {
+				tb.SWPrefetch(sgdPCPref, u.Addr(int(uoff.Int32s()[k+opt.SWDistance])), SWPrefetchOverhead)
+				tb.SWPrefetch(sgdPCPref, v.Addr(int(ioff.Int32s()[k+opt.SWDistance])), SWPrefetchOverhead)
+			}
+			rowLoads(tb, sgdPCURow, sgdPCURowRest, u.Addr(uo), rowBytes)
+			rowLoads(tb, sgdPCVRow, sgdPCVRowRest, v.Addr(io), rowBytes)
+			// Dot product + error (compute-heavy: SGD is the paper's
+			// compute-bound case, §6.3.1).
+			dot := 0.0
+			for f := 0; f < sgdFeatures; f++ {
+				dot += u.Float64s()[uo+f] * v.Float64s()[io+f]
+			}
+			err := rating.Float64s()[k] - dot
+			tb.Compute(2*sgdFeatures + 8)
+			// Update both rows (least-squares step).
+			const lr, reg = 0.01, 0.05
+			for f := 0; f < sgdFeatures; f++ {
+				uf, vf := u.Float64s()[uo+f], v.Float64s()[io+f]
+				u.Float64s()[uo+f] += lr * (err*vf - reg*uf)
+				v.Float64s()[io+f] += lr * (err*uf - reg*vf)
+			}
+			rowStores(tb, sgdPCUStore, sgdPCUStoreRest, u.Addr(uo), rowBytes)
+			rowStores(tb, sgdPCVStore, sgdPCVStoreRest, v.Addr(io), rowBytes)
+			tb.Compute(4 * sgdFeatures)
+		}
+		tb.Barrier()
+		traces[c] = tb.Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}
+
+// byUser sorts ratings by user id for core partitioning.
+type byUser struct{ r *Ratings }
+
+func (b byUser) Len() int { return len(b.r.U) }
+func (b byUser) Swap(i, j int) {
+	b.r.U[i], b.r.U[j] = b.r.U[j], b.r.U[i]
+	b.r.I[i], b.r.I[j] = b.r.I[j], b.r.I[i]
+}
+func (b byUser) Less(i, j int) bool { return b.r.U[i] < b.r.U[j] }

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// SpMV (§5.3): sparse matrix-vector multiplication from HPCG, CSR matrix ×
+// dense vector. Scanning values and column indices streams; x[col[k]] is
+// the indirect pattern (coeff 8).
+const (
+	spmvPCRowPtr trace.PC = 0x160 + iota
+	spmvPCVal
+	spmvPCCol
+	spmvPCX
+	spmvPCY
+	spmvPCPref
+)
+
+func init() {
+	register(&Workload{
+		Name:        "spmv",
+		Description: "HPCG SpMV: banded CSR × dense vector; indirect x[col[k]] (coeff 8)",
+		Build:       buildSpMV,
+	})
+}
+
+// hpcgMatrix builds the banded stand-in for the HPCG stencil at this
+// scale: the band is wide enough that the x window busts the L1, as the
+// full-size grid does (see GenBanded).
+func hpcgMatrix(opt Options) *Graph {
+	n := opt.scaled(24576, 8*opt.Cores)
+	const nnzPerRow, band = 16, 8192
+	b := band
+	if b > n/2 {
+		b = n / 2
+	}
+	return GenBanded(n, nnzPerRow, b, opt.Seed)
+}
+
+func buildSpMV(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	g := hpcgMatrix(opt)
+	n := g.N
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	s := mem.NewSpace()
+	rowptr := s.AllocInt64("rowptr", n+1)
+	copy(rowptr.Int64s(), g.RowPtr)
+	col := s.AllocInt32("col", g.NNZ())
+	copy(col.Int32s(), g.Col)
+	vals := s.AllocFloat64("vals", g.NNZ())
+	for i := range vals.Float64s() {
+		vals.Float64s()[i] = rng.Float64()
+	}
+	x := s.AllocFloat64("x", n)
+	y := s.AllocFloat64("y", n)
+	for i := range x.Float64s() {
+		x.Float64s()[i] = 1.0
+	}
+
+	traces := make([]*trace.Trace, opt.Cores)
+	for c := 0; c < opt.Cores; c++ {
+		tb := trace.NewBuilder()
+		lo, hi := partition(n, opt.Cores, c)
+		for row := lo; row < hi; row++ {
+			tb.Load(spmvPCRowPtr, rowptr.Addr(row), 8, trace.KindStream)
+			start, end := g.RowPtr[row], g.RowPtr[row+1]
+			sum := 0.0
+			for e := start; e < end; e++ {
+				j := int(g.Col[e])
+				tb.Load(spmvPCVal, vals.Addr(int(e)), 8, trace.KindStream)
+				tb.Load(spmvPCCol, col.Addr(int(e)), 4, trace.KindStream)
+				tb.LoadDep(spmvPCX, x.Addr(j), 8, trace.KindIndirect)
+				sum += vals.Float64s()[e] * x.Float64s()[j]
+				tb.Compute(8)
+				if opt.SoftwarePrefetch {
+					pe := e + int64(swDist(opt, int(end-start)))
+					if pe < end {
+						tb.SWPrefetch(spmvPCPref, x.Addr(int(g.Col[pe])), SWPrefetchOverhead)
+					}
+				}
+			}
+			y.Float64s()[row] = sum
+			tb.Store(spmvPCY, y.Addr(row), 8, trace.KindOther)
+			tb.Compute(6)
+		}
+		tb.Barrier()
+		traces[c] = tb.Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces}, nil
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// SymGS (§5.3): the symmetric Gauss-Seidel smoother from HPCG — a forward
+// then a backward triangular solve over the stencil matrix. Rows are
+// processed in a block-colored order held in a permutation array ([33]'s
+// row grouping for parallelism), so the row-pointer read rowptr[perm[i]] is
+// a *multi-level* indirect pattern; the inner loop adds the x[col[k]]
+// pattern. The backward sweep scans the permutation in reverse (descending
+// stream). SymGS synchronizes with busy-wait barriers, which inflates its
+// instruction count with runtime (Fig 10).
+const (
+	sgsPCPerm trace.PC = 0x170 + iota
+	sgsPCRowPtr
+	sgsPCRowPtr2
+	sgsPCVal
+	sgsPCCol
+	sgsPCX
+	sgsPCXStore
+	sgsPCPref
+)
+
+func init() {
+	register(&Workload{
+		Name:        "symgs",
+		Description: "HPCG SymGS: block-colored forward+backward sweeps; multi-level rowptr[perm[i]] and x[col[k]]",
+		Build:       buildSymGS,
+	})
+}
+
+func buildSymGS(opt Options) (*trace.Program, error) {
+	opt = opt.withDefaults()
+	g := hpcgMatrix(opt)
+	n := g.N
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	// Block red-black coloring: even-indexed row blocks first, then odd.
+	// Rows inside a color are independent enough to process in parallel;
+	// colors separate with a barrier.
+	const blockRows = 128
+	var perm []int32
+	var colorStart [3]int
+	colorStart[0] = 0
+	for parity := 0; parity < 2; parity++ {
+		for b := parity; b*blockRows < n; b += 2 {
+			lo := b * blockRows
+			hi := lo + blockRows
+			if hi > n {
+				hi = n
+			}
+			for r := lo; r < hi; r++ {
+				perm = append(perm, int32(r))
+			}
+		}
+		colorStart[parity+1] = len(perm)
+	}
+
+	s := mem.NewSpace()
+	rowptr := s.AllocInt64("rowptr", n+1)
+	copy(rowptr.Int64s(), g.RowPtr)
+	col := s.AllocInt32("col", g.NNZ())
+	copy(col.Int32s(), g.Col)
+	vals := s.AllocFloat64("vals", g.NNZ())
+	for i := range vals.Float64s() {
+		vals.Float64s()[i] = rng.Float64() + 0.1
+	}
+	permR := s.AllocInt32("perm", len(perm))
+	copy(permR.Int32s(), perm)
+	x := s.AllocFloat64("x", n)
+	b := s.AllocFloat64("b", n)
+	for i := 0; i < n; i++ {
+		x.Float64s()[i] = 0
+		b.Float64s()[i] = 1
+	}
+
+	traces := make([]*trace.Trace, opt.Cores)
+	builders := make([]*trace.Builder, opt.Cores)
+	for c := range builders {
+		builders[c] = trace.NewBuilder()
+	}
+
+	// sweep emits one color's rows for every core; backward reverses the
+	// scan direction over the permutation slice.
+	sweep := func(from, to int, backward bool) {
+		for c := 0; c < opt.Cores; c++ {
+			tb := builders[c]
+			lo, hi := partition(to-from, opt.Cores, c)
+			lo, hi = from+lo, from+hi
+			for i := 0; i < hi-lo; i++ {
+				idx := lo + i
+				if backward {
+					idx = hi - 1 - i
+				}
+				row := int(perm[idx])
+				tb.Load(sgsPCPerm, permR.Addr(idx), 4, trace.KindStream)
+				tb.LoadDep(sgsPCRowPtr, rowptr.Addr(row), 8, trace.KindIndirect)
+				tb.LoadDep(sgsPCRowPtr2, rowptr.Addr(row+1), 8, trace.KindIndirect)
+				start, end := g.RowPtr[row], g.RowPtr[row+1]
+				sum := b.Float64s()[row]
+				var diag float64 = 1
+				for e := start; e < end; e++ {
+					j := int(g.Col[e])
+					tb.Load(sgsPCVal, vals.Addr(int(e)), 8, trace.KindStream)
+					tb.Load(sgsPCCol, col.Addr(int(e)), 4, trace.KindStream)
+					tb.LoadDep(sgsPCX, x.Addr(j), 8, trace.KindIndirect)
+					if j == row {
+						diag = vals.Float64s()[e]
+					} else {
+						sum -= vals.Float64s()[e] * x.Float64s()[j]
+					}
+					tb.Compute(8)
+					if opt.SoftwarePrefetch {
+						pe := e + int64(swDist(opt, int(end-start)))
+						if pe < end {
+							tb.SWPrefetch(sgsPCPref, x.Addr(int(g.Col[pe])), SWPrefetchOverhead)
+						}
+					}
+				}
+				x.Float64s()[row] = sum / diag
+				tb.Store(sgsPCXStore, x.Addr(row), 8, trace.KindIndirect)
+				tb.Compute(24)
+			}
+			tb.Barrier()
+		}
+	}
+
+	// Forward sweep: color 0 then color 1; backward sweep: reverse order.
+	sweep(colorStart[0], colorStart[1], false)
+	sweep(colorStart[1], colorStart[2], false)
+	sweep(colorStart[1], colorStart[2], true)
+	sweep(colorStart[0], colorStart[1], true)
+
+	for c := range builders {
+		traces[c] = builders[c].Trace()
+	}
+	return &trace.Program{Space: s, Traces: traces, SpinBarriers: true}, nil
+}

@@ -1,0 +1,164 @@
+// Package workload implements the seven applications of §5.3 (pagerank,
+// triangle counting, Graph500 BFS, SGD collaborative filtering, LSH, SpMV,
+// SymGS) plus a dense control kernel, as instrumented Go programs: each
+// kernel really executes its algorithm on synthetic inputs while emitting
+// per-core memory access traces for the timing simulator.
+//
+// Ground-truth access kinds (stream / indirect / other) annotate each
+// access for the paper's Fig 1/Fig 2 breakdowns; the IMP hardware model
+// never sees them.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Options parameterize trace generation.
+type Options struct {
+	// Cores is the number of cores to trace for.
+	Cores int
+	// Scale multiplies the default input size (1.0 = benchmark size).
+	Scale float64
+	// SoftwarePrefetch inserts Mowry-style indirect prefetch instructions
+	// (§5.4 Software Prefetching) with SWDistance lookahead.
+	SoftwarePrefetch bool
+	// SWDistance is the software prefetch distance in loop iterations.
+	SWDistance int
+	// Seed perturbs input generation; 0 uses the workload default.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cores <= 0 {
+		o.Cores = 64
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.SWDistance <= 0 {
+		o.SWDistance = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// scaled applies the size multiplier with a floor.
+func (o Options) scaled(n, floor int) int {
+	v := int(float64(n) * o.Scale)
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// SWPrefetchOverhead is the extra instructions per software indirect
+// prefetch: compute i+Δ, load B[i+Δ], compute the target address (§6.1.2).
+const SWPrefetchOverhead = 3
+
+// swDist clamps the software prefetch distance to the inner-loop trip
+// count (Mowry's algorithm picks a per-loop distance; a distance beyond
+// the loop end would never fire).
+func swDist(opt Options, tripCount int) int {
+	d := opt.SWDistance
+	if d >= tripCount {
+		d = tripCount / 2
+	}
+	if d < 2 {
+		d = 2
+	}
+	return d
+}
+
+// Workload is one traceable kernel.
+type Workload struct {
+	// Name as used in the paper's figures.
+	Name string
+	// Description summarizes the kernel and its indirect pattern.
+	Description string
+	// Build generates the traced program.
+	Build func(opt Options) (*trace.Program, error)
+}
+
+var registry []*Workload
+
+// paperOrder is the x-axis order of the paper's figures.
+var paperOrder = []string{"pagerank", "tri_count", "graph500", "sgd", "lsh", "spmv", "symgs", "dense"}
+
+func register(w *Workload) { registry = append(registry, w) }
+
+// Names returns the registered workload names in the paper's figure order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, name := range paperOrder {
+		for _, w := range registry {
+			if w.Name == name {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// PaperSet returns the seven evaluation workloads (excluding the dense
+// control kernel).
+func PaperSet() []string {
+	var out []string
+	for _, name := range Names() {
+		if name != "dense" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Get looks a workload up by name.
+func Get(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return nil, fmt.Errorf("workload: unknown %q (have %v)", name, known)
+}
+
+// Build generates the traced program for the named workload.
+func Build(name string, opt Options) (*trace.Program, error) {
+	w, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.Build(opt)
+}
+
+// partition splits n items into per-core contiguous [lo, hi) ranges.
+func partition(n, cores, c int) (lo, hi int) {
+	lo = c * n / cores
+	hi = (c + 1) * n / cores
+	return lo, hi
+}
+
+// rowLoads emits the loads for a dense row of rowBytes starting at addr:
+// the first access is the indirect one (address came from an index); the
+// remaining cachelines of the row are sequential follow-on loads.
+func rowLoads(tb *trace.Builder, pcFirst, pcRest trace.PC, addr mem.Addr, rowBytes int) {
+	tb.LoadDep(pcFirst, addr, 8, trace.KindIndirect)
+	for off := int(64 - addr.Offset()); off < rowBytes; off += 64 {
+		tb.Load(pcRest, addr+mem.Addr(off), 8, trace.KindOther)
+	}
+}
+
+// rowStores emits stores covering a dense row (update write-back).
+func rowStores(tb *trace.Builder, pcFirst, pcRest trace.PC, addr mem.Addr, rowBytes int) {
+	tb.Store(pcFirst, addr, 8, trace.KindIndirect)
+	for off := int(64 - addr.Offset()); off < rowBytes; off += 64 {
+		tb.Store(pcRest, addr+mem.Addr(off), 8, trace.KindOther)
+	}
+}

@@ -1,0 +1,87 @@
+package imp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result: one row per workload (or
+// parameter point) and one column per configuration/metric, mirroring the
+// bar groups of the paper's figures.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string // value column names (the row label column is implicit)
+	Rows    []Row
+	Notes   string
+}
+
+// Row is one labeled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// AddAverage appends an "avg" row with the arithmetic mean of each column
+// over the existing rows.
+func (t *Table) AddAverage() {
+	if len(t.Rows) == 0 {
+		return
+	}
+	avg := make([]float64, len(t.Columns))
+	for _, r := range t.Rows {
+		for i, v := range r.Values {
+			if i < len(avg) {
+				avg[i] += v
+			}
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(t.Rows))
+	}
+	t.AddRow("avg", avg...)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	labelW := 10
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 7 {
+			colW[i] = 7
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.Label)
+		for i, v := range r.Values {
+			w := 7
+			if i < len(colW) {
+				w = colW[i]
+			}
+			fmt.Fprintf(&b, " %*.3f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
