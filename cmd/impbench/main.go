@@ -3,13 +3,21 @@
 // Usage:
 //
 //	impbench -exp fig9 -cores 64
-//	impbench -exp all -scale 0.5
+//	impbench -exp all -scale 0.5 -j 8
+//	impbench -exp fig2 -json
 //	impbench -list
+//
+// -j bounds the number of concurrent simulations (0 = all CPUs); table
+// contents are identical at any setting. -json emits a JSON array of the
+// produced tables instead of aligned text.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -18,48 +26,93 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp       = flag.String("exp", "", "experiment id (fig1..fig16, table3, storage, ghb) or 'all'")
-		cores     = flag.Int("cores", 64, "core count (16, 64 or 256)")
-		scale     = flag.Float64("scale", 1.0, "input size multiplier")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: experiment's own)")
-		list      = flag.Bool("list", false, "list experiments and exit")
-		verbose   = flag.Bool("v", false, "print per-simulation progress")
+		exp       = fs.String("exp", "", "experiment id (fig1..fig16, table3, storage, ghb) or 'all'")
+		cores     = fs.Int("cores", 64, "core count (16, 64 or 256)")
+		scale     = fs.Float64("scale", 1.0, "input size multiplier")
+		workloads = fs.String("workloads", "", "comma-separated workload subset (default: experiment's own)")
+		seed      = fs.Int64("seed", 0, "base input generation seed (0 = default inputs)")
+		parallel  = fs.Int("j", 0, "max concurrent simulations (0 = all CPUs, 1 = serial)")
+		jsonOut   = fs.Bool("json", false, "emit tables as a JSON array instead of text")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		verbose   = fs.Bool("v", false, "print per-simulation progress")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, id := range imp.Experiments.IDs() {
 			e, _ := imp.Experiments.Get(id)
-			fmt.Printf("%-8s %s\n", id, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", id, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "impbench: -exp required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "impbench: -exp required (try -list)")
+		return 2
 	}
 
-	opt := imp.ExpOptions{Cores: *cores, Scale: *scale}
-	if *workloads != "" {
-		opt.Workloads = strings.Split(*workloads, ",")
+	opt := imp.ExpOptions{Cores: *cores, Scale: *scale, Seed: *seed, Parallelism: *parallel}
+	for _, w := range strings.Split(*workloads, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			opt.Workloads = append(opt.Workloads, w)
+		}
+	}
+	if *workloads != "" && len(opt.Workloads) == 0 {
+		// Don't let a typo or empty shell expansion fall back to the full
+		// default set and burn minutes of unintended simulation.
+		fmt.Fprintln(stderr, "impbench: -workloads names no workloads")
+		return 2
 	}
 	if *verbose {
-		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+		opt.OnProgress = func(e imp.ProgressEvent) {
+			if e.Err != nil {
+				fmt.Fprintf(stderr, "  [%d/%d] %s/%s/%s: %v\n",
+					e.Done, e.Total, e.Experiment, e.Workload, e.System, e.Err)
+				return
+			}
+			fmt.Fprintf(stderr, "  [%d/%d] %s/%s/%s: %d cycles (%s)\n",
+				e.Done, e.Total, e.Experiment, e.Workload, e.System,
+				e.Cycles, e.Elapsed.Round(time.Millisecond))
+		}
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = imp.Experiments.IDs()
 	}
+	var tables []*imp.Table
 	for _, id := range ids {
 		start := time.Now()
 		tbl, err := imp.Experiments.Run(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "impbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "impbench: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Println(tbl)
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond*100))
+		if *jsonOut {
+			tables = append(tables, tbl)
+			continue
+		}
+		fmt.Fprintln(stdout, tbl)
+		fmt.Fprintf(stdout, "(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond*100))
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintln(stderr, "impbench:", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/impsim/imp"
+)
+
+func runBench(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range imp.Experiments.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}
+
+func TestMissingExp(t *testing.T) {
+	_, errb, code := runBench(t)
+	if code != 2 || !strings.Contains(errb, "-exp required") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestUnknownExp(t *testing.T) {
+	_, errb, code := runBench(t, "-exp", "fig99")
+	if code != 1 || !strings.Contains(errb, "unknown experiment") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, _, code := runBench(t, "-nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestWorkloadsListTolerant(t *testing.T) {
+	// Same comma-list convention as impsim: trim entries, skip empties.
+	out, errb, code := runBench(t,
+		"-exp", "fig1", "-cores", "4", "-scale", "0.05", "-workloads", "spmv, pagerank,")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, w := range []string{"spmv", "pagerank"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestAllEmptyWorkloadsListRejected(t *testing.T) {
+	_, errb, code := runBench(t, "-exp", "fig1", "-workloads", ",")
+	if code != 2 || !strings.Contains(errb, "names no workloads") {
+		t.Fatalf("exit %d, stderr %q; an all-empty -workloads must not fall back to the full set", code, errb)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, errb, code := runBench(t, "-h")
+	if code != 0 || !strings.Contains(errb, "Usage") {
+		t.Fatalf("exit %d, stderr %q; -h must print usage and exit 0", code, errb)
+	}
+}
+
+func TestEndToEndText(t *testing.T) {
+	out, errb, code := runBench(t,
+		"-exp", "fig1", "-cores", "4", "-scale", "0.05", "-workloads", "spmv", "-j", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "fig1") || !strings.Contains(out, "spmv") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(errb, "cycles") {
+		t.Errorf("-v produced no progress on stderr: %q", errb)
+	}
+}
+
+func TestEndToEndJSON(t *testing.T) {
+	out, errb, code := runBench(t,
+		"-exp", "fig1", "-cores", "4", "-scale", "0.05", "-workloads", "spmv", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	var tables []*imp.Table
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("output is not a JSON table array: %v\n%s", err, out)
+	}
+	if len(tables) != 1 || tables[0].ID != "fig1" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	// spmv row + avg row.
+	if len(tables[0].Rows) != 2 || tables[0].Rows[0].Label != "spmv" {
+		t.Errorf("unexpected rows: %+v", tables[0].Rows)
+	}
+}
+
+func TestJSONMatchesTextSweep(t *testing.T) {
+	// The -json path must reflect the same sweep values as the text path.
+	tbl, err := imp.Experiments.Run("fig1", imp.ExpOptions{
+		Cores: 4, Scale: 0.05, Workloads: []string{"spmv"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runBench(t,
+		"-exp", "fig1", "-cores", "4", "-scale", "0.05", "-workloads", "spmv", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var tables []*imp.Table
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatal(err)
+	}
+	want, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tables[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("CLI JSON diverges from library table:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,15 +1,25 @@
-// Command impsim runs one workload on one simulated system configuration
-// and prints the full metric set.
+// Command impsim runs one or more workloads on one simulated system
+// configuration and prints the full metric set.
 //
 // Usage:
 //
 //	impsim -workload pagerank -cores 64 -system imp
+//	impsim -workload pagerank,spmv,sgd -j 4 -json
 //	impsim -print-config
+//
+// -workload accepts a comma-separated list; multiple workloads are swept
+// concurrently with at most -j simulations in flight (0 = all CPUs), with
+// output in input order regardless of completion order. -json emits a JSON
+// array of {workload, result} objects instead of text.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,51 +39,107 @@ var systems = map[string]imp.System{
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl     = flag.String("workload", "pagerank", "workload: "+strings.Join(imp.Workloads(), ", "))
-		cores  = flag.Int("cores", 64, "core count (square)")
-		system = flag.String("system", "imp", "system configuration")
-		scale  = flag.Float64("scale", 1.0, "input size multiplier")
-		ooo    = flag.Bool("ooo", false, "out-of-order cores (32-entry window)")
-		seed   = flag.Int64("seed", 0, "input generation seed (0 = default)")
-		print  = flag.Bool("print-config", false, "print Table 1/2 configuration and exit")
+		wl       = fs.String("workload", "pagerank", "workload, or comma-separated list: "+strings.Join(imp.Workloads(), ", "))
+		cores    = fs.Int("cores", 64, "core count (square)")
+		system   = fs.String("system", "imp", "system configuration")
+		scale    = fs.Float64("scale", 1.0, "input size multiplier")
+		ooo      = fs.Bool("ooo", false, "out-of-order cores (32-entry window)")
+		seed     = fs.Int64("seed", 0, "input generation seed (0 = default)")
+		expSeed  = fs.Bool("exp-seed", false, "treat -seed as an impbench base seed and derive the per-workload trace seed, reproducing experiment points exactly")
+		parallel = fs.Int("j", 0, "max concurrent simulations for multi-workload runs (0 = all CPUs)")
+		jsonOut  = fs.Bool("json", false, "emit results as JSON")
+		print    = fs.Bool("print-config", false, "print Table 1/2 configuration and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *print {
-		fmt.Println("Table 1 (system): 1 GHz, in-order single-issue cores; 32KB/4-way L1D;")
-		fmt.Println("  2/sqrt(N) MB per-tile shared L2 (8-way); ACKwise_4 directory;")
-		fmt.Println("  2-D mesh, XY routing, 2-cycle hops, 64-bit flits; sqrt(N) MCs,")
-		fmt.Println("  100ns/10GB-per-MC simple DRAM (DDR3 10-10-10-24 model available).")
-		fmt.Printf("Table 2 (IMP): %+v\n", imp.DefaultIMPParams())
-		fmt.Printf("Storage (6.4): %v\n", imp.StorageCost(false))
-		fmt.Printf("Storage+GP:    %v\n", imp.StorageCost(true))
-		return
+		fmt.Fprintln(stdout, "Table 1 (system): 1 GHz, in-order single-issue cores; 32KB/4-way L1D;")
+		fmt.Fprintln(stdout, "  2/sqrt(N) MB per-tile shared L2 (8-way); ACKwise_4 directory;")
+		fmt.Fprintln(stdout, "  2-D mesh, XY routing, 2-cycle hops, 64-bit flits; sqrt(N) MCs,")
+		fmt.Fprintln(stdout, "  100ns/10GB-per-MC simple DRAM (DDR3 10-10-10-24 model available).")
+		fmt.Fprintf(stdout, "Table 2 (IMP): %+v\n", imp.DefaultIMPParams())
+		fmt.Fprintf(stdout, "Storage (6.4): %v\n", imp.StorageCost(false))
+		fmt.Fprintf(stdout, "Storage+GP:    %v\n", imp.StorageCost(true))
+		return 0
 	}
 
 	sys, ok := systems[*system]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "impsim: unknown system %q\n", *system)
-		os.Exit(2)
-	}
-	res, err := imp.Run(imp.Config{
-		Workload: *wl, Cores: *cores, System: sys, Scale: *scale,
-		OutOfOrder: *ooo, Seed: *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "impsim:", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "impsim: unknown system %q\n", *system)
+		return 2
 	}
 
-	fmt.Printf("workload=%s cores=%d system=%s scale=%g\n", *wl, *cores, *system, *scale)
-	fmt.Printf("cycles        %d\n", res.Cycles)
-	fmt.Printf("instructions  %d (ipc %.3f)\n", res.Instructions, res.Throughput)
-	fmt.Printf("miss fractions: indirect %.2f, stream %.2f, other %.2f\n",
+	var cfgs []imp.Config
+	for _, w := range strings.Split(*wl, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue // tolerate trailing/doubled commas
+		}
+		s := *seed
+		if *expSeed {
+			s = imp.ExpSeed(*seed, w)
+		}
+		cfgs = append(cfgs, imp.Config{
+			Workload: w, Cores: *cores, System: sys, Scale: *scale,
+			OutOfOrder: *ooo, Seed: s,
+		})
+	}
+	if len(cfgs) == 0 {
+		fmt.Fprintln(stderr, "impsim: -workload names no workloads")
+		return 2
+	}
+	results, err := imp.RunSweep(context.Background(), cfgs, imp.SweepOptions{Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintln(stderr, "impsim:", err)
+		return 1
+	}
+
+	if *jsonOut {
+		type entry struct {
+			Workload string      `json:"workload"`
+			Result   *imp.Result `json:"result"`
+		}
+		out := make([]entry, len(results))
+		for i, res := range results {
+			out[i] = entry{Workload: cfgs[i].Workload, Result: res}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "impsim:", err)
+			return 1
+		}
+		return 0
+	}
+
+	for i, res := range results {
+		printResult(stdout, cfgs[i], *system, res)
+	}
+	return 0
+}
+
+func printResult(w io.Writer, cfg imp.Config, system string, res *imp.Result) {
+	fmt.Fprintf(w, "workload=%s cores=%d system=%s scale=%g\n", cfg.Workload, cfg.Cores, system, cfg.Scale)
+	fmt.Fprintf(w, "cycles        %d\n", res.Cycles)
+	fmt.Fprintf(w, "instructions  %d (ipc %.3f)\n", res.Instructions, res.Throughput)
+	fmt.Fprintf(w, "miss fractions: indirect %.2f, stream %.2f, other %.2f\n",
 		res.MissFracIndirect, res.MissFracStream, res.MissFracOther)
-	fmt.Printf("prefetching: coverage %.2f, accuracy %.2f, AMAT %.1f cycles\n",
+	fmt.Fprintf(w, "prefetching: coverage %.2f, accuracy %.2f, AMAT %.1f cycles\n",
 		res.Coverage, res.Accuracy, res.AMAT)
-	fmt.Printf("traffic: NoC %d flit-hops, DRAM %d bytes\n", res.NoCFlitHops, res.DRAMBytes)
+	fmt.Fprintf(w, "traffic: NoC %d flit-hops, DRAM %d bytes\n", res.NoCFlitHops, res.DRAMBytes)
 	if res.PatternsDetected > 0 {
-		fmt.Printf("IMP: %d primary patterns, %d secondary\n", res.PatternsDetected, res.SecondaryPatterns)
+		fmt.Fprintf(w, "IMP: %d primary patterns, %d secondary\n", res.PatternsDetected, res.SecondaryPatterns)
 	}
 }

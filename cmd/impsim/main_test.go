@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestPrintConfig(t *testing.T) {
+	out, _, code := runSim(t, "-print-config")
+	if code != 0 || !strings.Contains(out, "Table 2 (IMP)") {
+		t.Fatalf("exit %d, output %q", code, out)
+	}
+}
+
+func TestUnknownSystem(t *testing.T) {
+	_, errb, code := runSim(t, "-system", "warp-drive")
+	if code != 2 || !strings.Contains(errb, "unknown system") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	_, errb, code := runSim(t, "-workload", "nope", "-cores", "4", "-scale", "0.05")
+	if code != 1 || errb == "" {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	_, _, code := runSim(t, "-nope")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestEmptyWorkloadEntriesTolerated(t *testing.T) {
+	out, errb, code := runSim(t,
+		"-workload", "pagerank,", "-cores", "4", "-scale", "0.05")
+	if code != 0 {
+		t.Fatalf("trailing comma failed the run: exit %d, stderr %q", code, errb)
+	}
+	if strings.Count(out, "workload=") != 1 {
+		t.Errorf("expected exactly one result:\n%s", out)
+	}
+	_, errb, code = runSim(t, "-workload", ",,")
+	if code != 2 || !strings.Contains(errb, "names no workloads") {
+		t.Fatalf("all-empty list: exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	_, errb, code := runSim(t, "-h")
+	if code != 0 || !strings.Contains(errb, "Usage") {
+		t.Fatalf("exit %d, stderr %q; -h must print usage and exit 0", code, errb)
+	}
+}
+
+func TestEndToEndSingle(t *testing.T) {
+	out, errb, code := runSim(t,
+		"-workload", "pagerank", "-cores", "4", "-scale", "0.05", "-system", "imp")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"workload=pagerank", "cycles", "prefetching:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEndToEndMultiWorkloadJSON(t *testing.T) {
+	out, errb, code := runSim(t,
+		"-workload", "pagerank,spmv", "-cores", "4", "-scale", "0.05", "-j", "2", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	var entries []struct {
+		Workload string `json:"workload"`
+		Result   struct {
+			Cycles       int64  `json:"Cycles"`
+			Instructions uint64 `json:"Instructions"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &entries); err != nil {
+		t.Fatalf("output is not the expected JSON: %v\n%s", err, out)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	// Results come back in input order regardless of completion order.
+	if entries[0].Workload != "pagerank" || entries[1].Workload != "spmv" {
+		t.Errorf("order not preserved: %+v", entries)
+	}
+	for _, e := range entries {
+		if e.Result.Cycles <= 0 || e.Result.Instructions == 0 {
+			t.Errorf("degenerate result for %s: %+v", e.Workload, e.Result)
+		}
+	}
+}
+
+func TestMultiWorkloadOrderMatchesSerial(t *testing.T) {
+	serial, _, code := runSim(t,
+		"-workload", "pagerank,spmv,dense", "-cores", "4", "-scale", "0.05", "-j", "1")
+	if code != 0 {
+		t.Fatal("serial run failed")
+	}
+	parallel, _, code := runSim(t,
+		"-workload", "pagerank,spmv,dense", "-cores", "4", "-scale", "0.05", "-j", "3")
+	if code != 0 {
+		t.Fatal("parallel run failed")
+	}
+	if serial != parallel {
+		t.Errorf("-j 1 and -j 3 output differ:\n--- j1\n%s\n--- j3\n%s", serial, parallel)
+	}
+}

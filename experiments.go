@@ -1,8 +1,13 @@
 package imp
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"time"
+
+	"github.com/impsim/imp/internal/harness"
 )
 
 // ExpOptions parameterize an experiment run.
@@ -13,8 +18,43 @@ type ExpOptions struct {
 	Scale float64
 	// Workloads restricts the workload set (default: the experiment's own).
 	Workloads []string
+	// Seed perturbs input generation. Each workload's trace seed is derived
+	// deterministically from Seed and the workload name, so results are
+	// reproducible at any parallelism. 0 keeps the paper's default inputs.
+	Seed int64
+	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS). Output
+	// is byte-identical at any setting; 1 forces a serial sweep.
+	Parallelism int
+	// Context cancels an in-flight experiment when done (nil: Background).
+	// Cancellation is cooperative at simulation-point granularity: points
+	// already simulating run to completion; unstarted points are skipped.
+	Context context.Context
+	// OnProgress, when non-nil, receives one structured event per completed
+	// simulation point. It is never called concurrently with itself, but
+	// events arrive in completion order, which depends on scheduling.
+	OnProgress func(ProgressEvent)
 	// Progress, when non-nil, receives one line per completed simulation.
+	// Kept for backward compatibility; prefer OnProgress.
 	Progress func(string)
+}
+
+// ProgressEvent describes one completed (or failed) simulation point of an
+// experiment sweep.
+type ProgressEvent struct {
+	// Experiment is the experiment id ("fig9", "table3", ...).
+	Experiment string
+	// Workload and System identify the simulated point.
+	Workload string
+	System   System
+	// Point is the point's index in the sweep, Total the sweep size, and
+	// Done the number of points finished so far (including this one).
+	Point, Total, Done int
+	// Cycles is the simulated cycle count (0 if the point failed).
+	Cycles int64
+	// Elapsed is the point's wall-clock simulation time.
+	Elapsed time.Duration
+	// Err is the point's failure, nil on success.
+	Err error
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -76,14 +116,27 @@ func registerExp(id, title string, run func(opt ExpOptions) (*Table, error)) {
 	Experiments.list = append(Experiments.list, &Experiment{ID: id, Title: title, Run: run})
 }
 
-// runner caches built traces across the configurations of one experiment.
+// runner caches built traces across the configurations of one experiment and
+// fans simulation points out over the harness worker pool. It is safe for
+// the concurrent use the sweep engine makes of it.
 type runner struct {
-	opt   ExpOptions
-	progs map[string]*Program // key: workload|swpref
+	id  string
+	opt ExpOptions
+
+	mu    sync.Mutex
+	progs map[string]*progEntry // key: workload|swpref
 }
 
-func newRunner(opt ExpOptions) *runner {
-	return &runner{opt: opt.withDefaults(), progs: make(map[string]*Program)}
+// progEntry builds one trace exactly once, even when several concurrent
+// points need it; latecomers block on once and share the outcome.
+type progEntry struct {
+	once sync.Once
+	p    *Program
+	err  error
+}
+
+func newRunner(id string, opt ExpOptions) *runner {
+	return &runner{id: id, opt: opt.withDefaults(), progs: make(map[string]*progEntry)}
 }
 
 func (r *runner) workloads(def []string) []string {
@@ -98,33 +151,75 @@ func (r *runner) program(name string, swpref bool) (*Program, error) {
 	if swpref {
 		key += "|sw"
 	}
-	if p, ok := r.progs[key]; ok {
-		return p, nil
+	r.mu.Lock()
+	e, ok := r.progs[key]
+	if !ok {
+		e = &progEntry{}
+		r.progs[key] = e
 	}
-	p, err := BuildProgram(name, r.opt.Cores, r.opt.Scale, swpref, 0)
-	if err != nil {
-		return nil, err
-	}
-	r.progs[key] = p
-	return p, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		// A panicking build must be recorded as the entry's error: sync.Once
+		// would otherwise mark the entry complete with p=nil, err=nil and
+		// every sibling point sharing this trace would nil-deref.
+		defer func() {
+			if rec := recover(); rec != nil {
+				e.err = fmt.Errorf("building %s trace: panic: %v", name, rec)
+			}
+		}()
+		e.p, e.err = BuildProgram(name, r.opt.Cores, r.opt.Scale, swpref,
+			harness.SeedFor(r.opt.Seed, name))
+	})
+	return e.p, e.err
 }
 
-// run simulates workload name under cfg (reusing the cached trace).
-func (r *runner) run(name string, cfg Config) (*Result, error) {
-	cfg.Cores = r.opt.Cores
-	cfg.Scale = r.opt.Scale
-	prog, err := r.program(name, cfg.System == SystemSWPrefetch)
+// expPoint is one (workload, config) cell of an experiment's sweep grid.
+type expPoint struct {
+	workload string
+	cfg      Config
+}
+
+// sweep simulates all points concurrently (bounded by opt.Parallelism) and
+// returns their results in point order, so assembled tables are identical
+// at any worker count.
+func (r *runner) sweep(points []expPoint) ([]*Result, error) {
+	meta := make([]sweepMeta, len(points))
+	for i, p := range points {
+		meta[i] = sweepMeta{experiment: r.id, workload: p.workload, system: p.cfg.System}
+	}
+	return sweepSim(r.opt.Context, r.opt.Parallelism, meta,
+		func(ctx context.Context, i int) (*Result, error) {
+			cfg := points[i].cfg
+			cfg.Cores = r.opt.Cores
+			cfg.Scale = r.opt.Scale
+			prog, err := r.program(points[i].workload, cfg.System == SystemSWPrefetch)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return RunProgram(prog, cfg)
+		}, r.opt.OnProgress, r.opt.Progress)
+}
+
+// grid sweeps workloads × cfgs and returns results indexed [workload][cfg].
+func (r *runner) grid(workloads []string, cfgs []Config) ([][]*Result, error) {
+	points := make([]expPoint, 0, len(workloads)*len(cfgs))
+	for _, w := range workloads {
+		for _, cfg := range cfgs {
+			points = append(points, expPoint{workload: w, cfg: cfg})
+		}
+	}
+	flat, err := r.sweep(points)
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunProgram(prog, cfg)
-	if err != nil {
-		return nil, err
+	out := make([][]*Result, len(workloads))
+	for wi := range workloads {
+		out[wi] = flat[wi*len(cfgs) : (wi+1)*len(cfgs)]
 	}
-	if r.opt.Progress != nil {
-		r.opt.Progress(fmt.Sprintf("%s/%s: %d cycles", name, cfg.System, res.Cycles))
-	}
-	return res, nil
+	return out, nil
 }
 
 func init() {
@@ -144,14 +239,16 @@ func init() {
 }
 
 func expFig1(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig1", opt)
 	t := &Table{ID: "fig1", Title: "miss fraction by access type (Base, stream prefetcher)",
 		Columns: []string{"indirect", "stream", "other"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		res, err := r.run(w, Config{System: SystemBaseline})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{{System: SystemBaseline}})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		res := grid[wi][0]
 		t.AddRow(w, res.MissFracIndirect, res.MissFracStream, res.MissFracOther)
 	}
 	t.AddAverage()
@@ -159,22 +256,18 @@ func expFig1(opt ExpOptions) (*Table, error) {
 }
 
 func expFig2(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig2", opt)
 	t := &Table{ID: "fig2", Title: "runtime normalized to Ideal",
 		Columns: []string{"indirect", "other", "total", "perfpref"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		ideal, err := r.run(w, Config{System: SystemIdeal})
-		if err != nil {
-			return nil, err
-		}
-		base, err := r.run(w, Config{System: SystemBaseline})
-		if err != nil {
-			return nil, err
-		}
-		perf, err := r.run(w, Config{System: SystemPerfect})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemIdeal}, {System: SystemBaseline}, {System: SystemPerfect},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		ideal, base, perf := grid[wi][0], grid[wi][1], grid[wi][2]
 		norm := float64(base.Cycles) / float64(ideal.Cycles)
 		// Split the normalized runtime by stall attribution.
 		stalls := float64(base.StallIndirect + base.StallOther)
@@ -195,20 +288,21 @@ func expFig2(opt ExpOptions) (*Table, error) {
 }
 
 func expFig9(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig9", opt)
 	t := &Table{ID: "fig9", Title: fmt.Sprintf("normalized throughput, %d cores (PerfPref = 1)", opt.withDefaults().Cores),
 		Columns: []string{"perfpref", "base", "imp", "swpref"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		perf, err := r.run(w, Config{System: SystemPerfect})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemPerfect}, {System: SystemBaseline},
+		{System: SystemIMP}, {System: SystemSWPrefetch},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		perf := grid[wi][0]
 		vals := []float64{1}
-		for _, sys := range []System{SystemBaseline, SystemIMP, SystemSWPrefetch} {
-			res, err := r.run(w, Config{System: sys})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range grid[wi][1:] {
 			vals = append(vals, float64(perf.Cycles)/float64(res.Cycles))
 		}
 		t.AddRow(w, vals...)
@@ -218,22 +312,18 @@ func expFig9(opt ExpOptions) (*Table, error) {
 }
 
 func expTable3(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("table3", opt)
 	t := &Table{ID: "table3", Title: "prefetching effectiveness (latency normalized to PerfPref)",
 		Columns: []string{"str.cov", "str.acc", "str.lat", "imp.cov", "imp.acc", "imp.lat"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		perf, err := r.run(w, Config{System: SystemPerfect})
-		if err != nil {
-			return nil, err
-		}
-		base, err := r.run(w, Config{System: SystemBaseline})
-		if err != nil {
-			return nil, err
-		}
-		impr, err := r.run(w, Config{System: SystemIMP})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemPerfect}, {System: SystemBaseline}, {System: SystemIMP},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		perf, base, impr := grid[wi][0], grid[wi][1], grid[wi][2]
 		t.AddRow(w,
 			base.Coverage, base.Accuracy, base.AMAT/perf.AMAT,
 			impr.Coverage, impr.Accuracy, impr.AMAT/perf.AMAT)
@@ -243,22 +333,18 @@ func expTable3(opt ExpOptions) (*Table, error) {
 }
 
 func expFig10(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig10", opt)
 	t := &Table{ID: "fig10", Title: "instruction count normalized to Base",
 		Columns: []string{"base", "imp", "swpref"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		base, err := r.run(w, Config{System: SystemBaseline})
-		if err != nil {
-			return nil, err
-		}
-		impr, err := r.run(w, Config{System: SystemIMP})
-		if err != nil {
-			return nil, err
-		}
-		sw, err := r.run(w, Config{System: SystemSWPrefetch})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemBaseline}, {System: SystemIMP}, {System: SystemSWPrefetch},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		base, impr, sw := grid[wi][0], grid[wi][1], grid[wi][2]
 		b := float64(base.Instructions)
 		t.AddRow(w, 1, float64(impr.Instructions)/b, float64(sw.Instructions)/b)
 	}
@@ -267,20 +353,21 @@ func expFig10(opt ExpOptions) (*Table, error) {
 }
 
 func expFig11(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig11", opt)
 	t := &Table{ID: "fig11", Title: fmt.Sprintf("partial cacheline accessing, %d cores (normalized to PerfPref)", opt.withDefaults().Cores),
 		Columns: []string{"imp", "partial-noc", "partial-noc+dram", "ideal"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		perf, err := r.run(w, Config{System: SystemPerfect})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemPerfect}, {System: SystemIMP},
+		{System: SystemIMPPartialNoC}, {System: SystemIMPPartial}, {System: SystemIdeal},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		perf := grid[wi][0]
 		vals := make([]float64, 0, 4)
-		for _, sys := range []System{SystemIMP, SystemIMPPartialNoC, SystemIMPPartial, SystemIdeal} {
-			res, err := r.run(w, Config{System: sys})
-			if err != nil {
-				return nil, err
-			}
+		for _, res := range grid[wi][1:] {
 			vals = append(vals, float64(perf.Cycles)/float64(res.Cycles))
 		}
 		t.AddRow(w, vals...)
@@ -290,18 +377,16 @@ func expFig11(opt ExpOptions) (*Table, error) {
 }
 
 func expFig12(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig12", opt)
 	t := &Table{ID: "fig12", Title: "NoC and DRAM traffic with partial accessing (normalized to full-line IMP)",
 		Columns: []string{"noc", "dram"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		full, err := r.run(w, Config{System: SystemIMP})
-		if err != nil {
-			return nil, err
-		}
-		part, err := r.run(w, Config{System: SystemIMPPartial})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{{System: SystemIMP}, {System: SystemIMPPartial}})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		full, part := grid[wi][0], grid[wi][1]
 		t.AddRow(w,
 			float64(part.NoCFlitHops)/float64(full.NoCFlitHops),
 			float64(part.DRAMBytes)/float64(full.DRAMBytes))
@@ -311,25 +396,27 @@ func expFig12(opt ExpOptions) (*Table, error) {
 }
 
 func expFig13(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("fig13", opt)
 	t := &Table{ID: "fig13", Title: "in-order vs out-of-order cores (normalized to Base on OoO)",
 		Columns: []string{"base_io", "base_ooo", "imp_io", "imp_ooo", "partial_io", "partial_ooo"}}
-	for _, w := range r.workloads([]string{"pagerank", "sgd"}) {
-		ref, err := r.run(w, Config{System: SystemBaseline, OutOfOrder: true})
-		if err != nil {
-			return nil, err
+	// (io, ooo) per system, as the columns state; Base/OoO is the reference.
+	cfgs := make([]Config, 0, 6)
+	for _, sys := range []System{SystemBaseline, SystemIMP, SystemIMPPartial} {
+		for _, ooo := range []bool{false, true} {
+			cfgs = append(cfgs, Config{System: sys, OutOfOrder: ooo})
 		}
+	}
+	ws := r.workloads([]string{"pagerank", "sgd"})
+	grid, err := r.grid(ws, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		ref := grid[wi][1] // Base, OutOfOrder
 		vals := make([]float64, 0, 6)
-		for _, sys := range []System{SystemBaseline, SystemIMP, SystemIMPPartial} {
-			for _, ooo := range []bool{false, true} {
-				res, err := r.run(w, Config{System: sys, OutOfOrder: ooo})
-				if err != nil {
-					return nil, err
-				}
-				vals = append(vals, float64(ref.Cycles)/float64(res.Cycles))
-			}
+		for _, res := range grid[wi] {
+			vals = append(vals, float64(ref.Cycles)/float64(res.Cycles))
 		}
-		// Reorder to (io, ooo) per system as the columns state.
 		t.AddRow(w, vals...)
 	}
 	return t, nil
@@ -337,31 +424,32 @@ func expFig13(opt ExpOptions) (*Table, error) {
 
 func expSensitivity(id, title string, values []int, def int, set func(*Config, int)) func(ExpOptions) (*Table, error) {
 	return func(opt ExpOptions) (*Table, error) {
-		r := newRunner(opt)
+		r := newRunner(id, opt)
 		cols := make([]string, len(values))
+		cfgs := make([]Config, len(values))
+		ref := -1
 		for i, v := range values {
 			cols[i] = fmt.Sprintf("%d", v)
+			cfgs[i] = Config{System: SystemIMP}
+			set(&cfgs[i], v)
+			if v == def {
+				ref = i
+			}
+		}
+		if ref < 0 {
+			return nil, fmt.Errorf("imp: %s: default %d not in sweep values %v", id, def, values)
 		}
 		t := &Table{ID: id, Title: title, Columns: cols,
 			Notes: fmt.Sprintf("normalized to the default value %d", def)}
-		for _, w := range r.workloads(PaperWorkloads()) {
-			var ref *Result
-			results := make([]*Result, len(values))
-			for i, v := range values {
-				cfg := Config{System: SystemIMP}
-				set(&cfg, v)
-				res, err := r.run(w, cfg)
-				if err != nil {
-					return nil, err
-				}
-				results[i] = res
-				if v == def {
-					ref = res
-				}
-			}
+		ws := r.workloads(PaperWorkloads())
+		grid, err := r.grid(ws, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for wi, w := range ws {
 			vals := make([]float64, len(values))
-			for i, res := range results {
-				vals[i] = float64(ref.Cycles) / float64(res.Cycles)
+			for i, res := range grid[wi] {
+				vals[i] = float64(grid[wi][ref].Cycles) / float64(res.Cycles)
 			}
 			t.AddRow(w, vals...)
 		}
@@ -400,22 +488,18 @@ func expStorage(opt ExpOptions) (*Table, error) {
 }
 
 func expGHB(opt ExpOptions) (*Table, error) {
-	r := newRunner(opt)
+	r := newRunner("ghb", opt)
 	t := &Table{ID: "ghb", Title: "GHB adds (almost) nothing over stream on indirect workloads (§5.4)",
 		Columns: []string{"base", "ghb", "imp"}}
-	for _, w := range r.workloads(PaperWorkloads()) {
-		base, err := r.run(w, Config{System: SystemBaseline})
-		if err != nil {
-			return nil, err
-		}
-		ghb, err := r.run(w, Config{System: SystemGHB})
-		if err != nil {
-			return nil, err
-		}
-		impr, err := r.run(w, Config{System: SystemIMP})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.workloads(PaperWorkloads())
+	grid, err := r.grid(ws, []Config{
+		{System: SystemBaseline}, {System: SystemGHB}, {System: SystemIMP},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
+		base, ghb, impr := grid[wi][0], grid[wi][1], grid[wi][2]
 		t.AddRow(w, 1,
 			float64(base.Cycles)/float64(ghb.Cycles),
 			float64(base.Cycles)/float64(impr.Cycles))

@@ -1,0 +1,3 @@
+module github.com/impsim/imp
+
+go 1.22

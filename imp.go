@@ -119,8 +119,9 @@ type Result struct {
 	PatternsDetected  uint64
 	SecondaryPatterns uint64
 
-	// Metrics exposes the full internal metric set for advanced users.
-	Metrics *sim.Metrics
+	// Metrics exposes the full internal metric set for advanced users. It
+	// is excluded from JSON export (internal layout, not a stable format).
+	Metrics *sim.Metrics `json:"-"`
 }
 
 // Workloads returns the available workload names in the paper's order.

@@ -2,15 +2,15 @@ package sim
 
 import "fmt"
 
-// debugFetch accumulates fetch-path latency components (development aid).
-type debugFetchT struct {
+// FetchDebug accumulates fetch-path latency components (development aid).
+// It lives in Metrics — never in package state — so concurrent simulations
+// do not share it.
+type FetchDebug struct {
 	N                               int64
 	ReqNoC, L2Wait, Dram, Coh, Resp int64
 }
 
-var DebugFetch debugFetchT
-
-func (d debugFetchT) String() string {
+func (d FetchDebug) String() string {
 	if d.N == 0 {
 		return "no fetches"
 	}

@@ -58,6 +58,9 @@ type Metrics struct {
 	IMPPatterns  uint64
 	IMPSecondary uint64
 	IMPIndirect  uint64
+
+	// Fetch is the fetch-path latency breakdown (development aid).
+	Fetch FetchDebug
 }
 
 // kind returns the bucket for k.

@@ -521,9 +521,9 @@ func (s *system) fetch(tileID int, now int64, addr mem.Addr, nbytes int, store, 
 		dataAtHome = tBack
 	}
 
-	DebugFetch.N++
-	DebugFetch.ReqNoC += tReq - now
-	DebugFetch.L2Wait += dataAtHome - tReq
+	s.met.Fetch.N++
+	s.met.Fetch.ReqNoC += tReq - now
+	s.met.Fetch.L2Wait += dataAtHome - tReq
 
 	// Directory actions.
 	var act coherence.Action
@@ -537,7 +537,7 @@ func (s *system) fetch(tileID int, now int64, addr mem.Addr, nbytes int, store, 
 	}
 	cohDone := s.applyCoherence(home, tileID, lineID, act, tL2)
 	if cohDone > dataAtHome {
-		DebugFetch.Coh += cohDone - dataAtHome
+		s.met.Fetch.Coh += cohDone - dataAtHome
 		dataAtHome = cohDone
 	}
 
@@ -547,7 +547,7 @@ func (s *system) fetch(tileID int, now int64, addr mem.Addr, nbytes int, store, 
 		respBytes = nbytes
 	}
 	done := s.mesh.Send(dataAtHome, home, tileID, respBytes)
-	DebugFetch.Resp += done - dataAtHome
+	s.met.Fetch.Resp += done - dataAtHome
 	return done
 }
 

@@ -1,0 +1,98 @@
+package imp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/impsim/imp/internal/harness"
+)
+
+// SweepOptions configure RunSweep.
+type SweepOptions struct {
+	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
+	Parallelism int
+	// OnProgress, when non-nil, receives one event per completed point
+	// (Experiment is empty for ad-hoc sweeps). It is never called
+	// concurrently with itself.
+	OnProgress func(ProgressEvent)
+}
+
+// RunSweep simulates every config concurrently with bounded parallelism and
+// returns one result per config, in config order — the results are identical
+// to running each config serially through Run. Traces are built per point
+// (configs in a sweep usually differ in workload, cores or scale); use
+// Experiments for the paper's trace-sharing sweeps.
+func RunSweep(ctx context.Context, cfgs []Config, opt SweepOptions) ([]*Result, error) {
+	meta := make([]sweepMeta, len(cfgs))
+	for i, cfg := range cfgs {
+		meta[i] = sweepMeta{workload: cfg.Workload, system: cfg.System}
+	}
+	return sweepSim(ctx, opt.Parallelism, meta, func(ctx context.Context, i int) (*Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return Run(cfgs[i])
+	}, opt.OnProgress, nil)
+}
+
+// ExpSeed returns the trace seed an experiment derives for workload from a
+// base seed (ExpOptions.Seed). Pass it as Config.Seed to reproduce a single
+// experiment point through Run or impsim — a raw base seed would build
+// different inputs. A zero base returns 0 (the paper's default inputs).
+func ExpSeed(base int64, workload string) int64 {
+	return harness.SeedFor(base, workload)
+}
+
+// sweepMeta labels one sweep point for events and error messages.
+type sweepMeta struct {
+	experiment string
+	workload   string
+	system     System
+}
+
+// sweepSim is the one adapter between simulation sweeps and the harness:
+// it wraps per-point sim closures into labeled harness points, fans them out
+// with fail-fast bounded parallelism, translates harness events into
+// ProgressEvents, and returns results in point order.
+func sweepSim(ctx context.Context, parallelism int, meta []sweepMeta,
+	sim func(ctx context.Context, i int) (*Result, error),
+	onProgress func(ProgressEvent), progress func(string)) ([]*Result, error) {
+	pts := make([]harness.Point[*Result], len(meta))
+	for i := range meta {
+		i := i
+		pts[i] = harness.Point[*Result]{
+			Label: fmt.Sprintf("%s/%s", meta[i].workload, meta[i].system),
+			Run: func(ctx context.Context) (*Result, error) {
+				return sim(ctx, i)
+			},
+		}
+	}
+	var onEvent func(harness.Event, *Result)
+	if onProgress != nil || progress != nil {
+		onEvent = func(e harness.Event, res *Result) {
+			// Points skipped by fail-fast cancellation never simulated
+			// anything; reporting each would bury the real failure.
+			if errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded) {
+				return
+			}
+			m := meta[e.Index]
+			var cycles int64
+			if res != nil {
+				cycles = res.Cycles
+			}
+			if onProgress != nil {
+				onProgress(ProgressEvent{
+					Experiment: m.experiment, Workload: m.workload, System: m.system,
+					Point: e.Index, Total: e.Total, Done: e.Done,
+					Cycles: cycles, Elapsed: e.Elapsed, Err: e.Err,
+				})
+			}
+			if progress != nil && e.Err == nil {
+				progress(fmt.Sprintf("%s/%s: %d cycles", m.workload, m.system, cycles))
+			}
+		}
+	}
+	return harness.Sweep(ctx, pts,
+		harness.Options{Workers: parallelism, FailFast: true}, onEvent)
+}

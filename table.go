@@ -1,6 +1,7 @@
 package imp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -45,6 +46,13 @@ func (t *Table) AddAverage() {
 		avg[i] /= float64(len(t.Rows))
 	}
 	t.AddRow("avg", avg...)
+}
+
+// JSON renders the table as indented JSON with stable field order, for
+// machine consumption alongside the String text form. Output is byte-stable
+// for equal tables, so it diffs cleanly across runs.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
 }
 
 // String renders the table as aligned text.
