@@ -7,7 +7,10 @@ package imp
 // series values are attached as custom benchmark metrics.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"path/filepath"
 	"testing"
 )
 
@@ -86,13 +89,16 @@ func BenchmarkGHBComparison(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw replay speed (records/sec) of
-// the timing simulator on the baseline configuration.
+// the timing simulator on the baseline configuration. The tick loop is
+// expected to run allocation-free; allocs/op here is essentially the
+// per-run system construction cost and is gated by CI.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	prog, err := BuildProgram("spmv", 16, 0.3, false, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	accesses := prog.Accesses()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunProgram(prog, Config{Cores: 16, System: SystemBaseline}); err != nil {
@@ -109,12 +115,82 @@ func BenchmarkIMPObserve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunProgram(prog, Config{Cores: 16, System: SystemIMP}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceEncode measures binary trace encoding (cmd/imptrace encode,
+// trace-cache writes).
+func BenchmarkTraceEncode(b *testing.B) {
+	prog, err := BuildProgram("spmv", 16, 0.3, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytesOut int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := prog.WriteTo(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = n
+	}
+	b.SetBytes(bytesOut)
+}
+
+// BenchmarkTraceDecode measures binary trace decoding (trace-cache reads),
+// the startup cost every cached experiment pays instead of a rebuild.
+func BenchmarkTraceDecode(b *testing.B) {
+	prog, err := BuildProgram("spmv", 16, 0.3, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := prog.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ReadProgram(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Accesses() != prog.Accesses() {
+			b.Fatal("decode mismatch")
+		}
+	}
+}
+
+// BenchmarkTraceStreamReplay measures the bounded-memory replay path: the
+// simulator pulling records through a FileSource window instead of a
+// materialized program.
+func BenchmarkTraceStreamReplay(b *testing.B) {
+	prog, err := BuildProgram("spmv", 16, 0.3, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "spmv.imptrace")
+	if err := prog.WriteFile(path); err != nil {
+		b.Fatal(err)
+	}
+	accesses := prog.Accesses()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTraceFile(path, Config{System: SystemBaseline}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(accesses)*float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
 }
 
 // BenchmarkWorkloadGeneration measures trace construction speed.

@@ -1,0 +1,335 @@
+// Command benchdiff records and compares `go test -bench` results for the
+// CI benchmark-regression gate.
+//
+// Two modes:
+//
+//	benchdiff -parse bench.txt -out BENCH_abc123.json [-commit abc123]
+//	    Parse benchmark text output into a stable JSON snapshot.
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_abc123.json
+//	    Compare two snapshots; exit 1 on regression.
+//
+// Metric classes:
+//
+//   - Deterministic metrics — allocs/op and every custom benchmark metric
+//     (cycle-derived numbers such as imp_speedup or norm_runtime) — gate
+//     the build: allocs/op may not grow by more than -threshold, and
+//     custom metrics may not move by more than -threshold in either
+//     direction (they are deterministic, so any drift means simulated
+//     behavior changed).
+//   - Timing metrics — ns/op, B/op and rate units such as accesses/s —
+//     are noisy on shared CI runners and only warn, unless -strict-time
+//     is set (then ns/op regressions beyond -time-threshold fail).
+//
+// When the two snapshots were produced by different Go releases, allocs/op
+// is demoted to a warning as well: runtimes allocate differently, and only
+// the cycle metrics stay comparable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is the JSON schema of one recorded benchmark run.
+type Snapshot struct {
+	Schema     int                  `json:"schema"`
+	Commit     string               `json:"commit,omitempty"`
+	GoVersion  string               `json:"go"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark holds one benchmark's metrics, keyed by unit (ns/op,
+// allocs/op, imp_speedup, ...).
+type Benchmark struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		parse         = fs.String("parse", "", "benchmark text output to parse ('-' for stdin)")
+		out           = fs.String("out", "", "write the parsed snapshot to this file (default stdout)")
+		commit        = fs.String("commit", "", "commit id recorded in the snapshot")
+		baseline      = fs.String("baseline", "", "baseline snapshot JSON")
+		current       = fs.String("current", "", "current snapshot JSON to compare against -baseline")
+		threshold     = fs.Float64("threshold", 0.10, "max relative drift for deterministic metrics")
+		timeThreshold = fs.Float64("time-threshold", 0.30, "max relative ns/op regression with -strict-time")
+		strictTime    = fs.Bool("strict-time", false, "fail (not warn) on ns/op regressions beyond -time-threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	switch {
+	case *parse != "":
+		return runParse(*parse, *out, *commit, stdout, stderr)
+	case *baseline != "" && *current != "":
+		return runCompare(*baseline, *current, *threshold, *timeThreshold, *strictTime, stdout, stderr)
+	default:
+		fmt.Fprintln(stderr, "benchdiff: need either -parse, or -baseline with -current")
+		fs.Usage()
+		return 2
+	}
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkFig9Performance-8   3   123456 ns/op   1.23 imp_speedup   45 B/op   6 allocs/op".
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func runParse(in, out, commit string, stdout, stderr io.Writer) int {
+	var r io.Reader
+	if in == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(in)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	snap, err := parseBench(r, commit)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark lines found")
+		return 1
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if out == "" {
+		stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", out, len(snap.Benchmarks))
+	return 0
+}
+
+func parseBench(r io.Reader, commit string) (*Snapshot, error) {
+	snap := &Snapshot{
+		Schema:     1,
+		Commit:     commit,
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]Benchmark{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "go: go version "); ok {
+			snap.GoVersion = strings.TrimSpace(v)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad value %q", m[1], fields[i])
+			}
+			metrics[fields[i+1]] = v
+		}
+		snap.Benchmarks[m[1]] = Benchmark{Iterations: iters, Metrics: metrics}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != 1 {
+		return nil, fmt.Errorf("%s: unsupported snapshot schema %d", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// metricClass classifies a metric unit for gating.
+type metricClass int
+
+const (
+	classTiming metricClass = iota // ns/op, B/op, rates: noisy, advisory
+	classAllocs                    // allocs/op: deterministic per Go release
+	classCustom                    // cycle-derived custom metrics: deterministic
+)
+
+func classify(unit string) metricClass {
+	switch {
+	case unit == "allocs/op":
+		return classAllocs
+	case unit == "ns/op" || unit == "B/op" || strings.HasSuffix(unit, "/s"):
+		return classTiming
+	default:
+		return classCustom
+	}
+}
+
+func runCompare(basePath, curPath string, threshold, timeThreshold float64, strictTime bool, stdout, stderr io.Writer) int {
+	base, err := loadSnapshot(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
+	cur, err := loadSnapshot(curPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 1
+	}
+	sameGo := goMinor(base.GoVersion) == goMinor(cur.GoVersion)
+	if !sameGo {
+		fmt.Fprintf(stdout, "note: snapshots from different Go releases (%s vs %s); allocs/op is advisory\n",
+			base.GoVersion, cur.GoVersion)
+	}
+
+	var failures, warnings int
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bb := base.Benchmarks[name]
+		cb, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(stdout, "FAIL %s: benchmark missing from current run\n", name)
+			failures++
+			continue
+		}
+		units := make([]string, 0, len(bb.Metrics))
+		for u := range bb.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv := bb.Metrics[unit]
+			cv, ok := cb.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(stdout, "WARN %s: metric %s missing from current run\n", name, unit)
+				warnings++
+				continue
+			}
+			delta := relDelta(bv, cv)
+			switch classify(unit) {
+			case classAllocs:
+				if delta > threshold {
+					verdict := "FAIL"
+					if !sameGo {
+						verdict = "WARN"
+						warnings++
+					} else {
+						failures++
+					}
+					fmt.Fprintf(stdout, "%s %s: %s %.0f -> %.0f (+%.1f%%)\n",
+						verdict, name, unit, bv, cv, 100*delta)
+				}
+			case classCustom:
+				if abs(delta) > threshold {
+					fmt.Fprintf(stdout, "FAIL %s: %s %.4g -> %.4g (%+.1f%%) — deterministic cycle metric moved\n",
+						name, unit, bv, cv, 100*delta)
+					failures++
+				}
+			case classTiming:
+				bad := delta
+				if strings.HasSuffix(unit, "/s") {
+					bad = -delta // rates: lower is worse
+				}
+				if bad > timeThreshold {
+					if strictTime && unit == "ns/op" {
+						fmt.Fprintf(stdout, "FAIL %s: %s %.4g -> %.4g (%+.1f%%)\n", name, unit, bv, cv, 100*delta)
+						failures++
+					} else {
+						fmt.Fprintf(stdout, "WARN %s: %s %.4g -> %.4g (%+.1f%%)\n", name, unit, bv, cv, 100*delta)
+						warnings++
+					}
+				}
+			}
+		}
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(stdout, "note: new benchmark %s (not in baseline)\n", name)
+		}
+	}
+	fmt.Fprintf(stdout, "compared %d benchmarks: %d failure(s), %d warning(s)\n",
+		len(names), failures, warnings)
+	if failures > 0 {
+		fmt.Fprintln(stdout, "regressions detected; if intentional, regenerate the baseline (see README)")
+		return 1
+	}
+	return 0
+}
+
+// goMinor reduces "go1.24.0" to "go1.24": patch releases do not change
+// allocation behavior, so snapshots within one minor stay comparable and
+// the allocs/op gate keeps its teeth across routine toolchain updates.
+func goMinor(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// relDelta returns (cur-base)/base, treating a zero base specially so new
+// nonzero values register as full-scale drift.
+func relDelta(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (cur - base) / base
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/impsim/imp
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig9Performance-8 	       1	 981234567 ns/op	         0.8123 base	         1.402 imp	 9876543 B/op	   12345 allocs/op
+BenchmarkSimulatorThroughput 	       5	  55728060 ns/op	   5463631 accesses/s	 9451430 B/op	     443 allocs/op
+PASS
+ok  	github.com/impsim/imp	2.833s
+`
+
+func runDiff(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseProducesSnapshot(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "snap.json")
+	stdout, errb, code := runDiff(t, "-parse", in, "-out", out, "-commit", "abc123")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(stdout, "2 benchmarks") {
+		t.Errorf("stdout: %q", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Commit != "abc123" || snap.Schema != 1 || snap.GoVersion == "" {
+		t.Errorf("snapshot header: %+v", snap)
+	}
+	fig := snap.Benchmarks["Fig9Performance"]
+	if fig.Iterations != 1 || fig.Metrics["imp"] != 1.402 || fig.Metrics["allocs/op"] != 12345 {
+		t.Errorf("Fig9Performance: %+v", fig)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped, and the suffixless form
+	// must parse too.
+	if _, ok := snap.Benchmarks["SimulatorThroughput"]; !ok {
+		t.Error("suffixless benchmark missing")
+	}
+}
+
+func TestParseEmptyInputFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	os.WriteFile(path, []byte("no benchmarks here\n"), 0o644)
+	_, errb, code := runDiff(t, "-parse", path)
+	if code != 1 || !strings.Contains(errb, "no benchmark lines") {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	if _, _, code := runDiff(t); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, code := runDiff(t, "-nope"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// snap writes a snapshot JSON with one benchmark.
+func snap(t *testing.T, dir, name, goVersion string, metrics map[string]float64) string {
+	t.Helper()
+	s := Snapshot{
+		Schema:    1,
+		GoVersion: goVersion,
+		Benchmarks: map[string]Benchmark{
+			"TickLoop": {Iterations: 1, Metrics: metrics},
+		},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareClean(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{
+		"ns/op": 100, "allocs/op": 500, "imp_speedup": 1.40,
+	})
+	cur := snap(t, dir, "cur.json", "go1.22", map[string]float64{
+		"ns/op": 104, "allocs/op": 510, "imp_speedup": 1.41,
+	})
+	out, _, code := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("clean compare failed: %s", out)
+	}
+	if !strings.Contains(out, "0 failure(s)") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{"allocs/op": 500})
+	cur := snap(t, dir, "cur.json", "go1.22", map[string]float64{"allocs/op": 600})
+	out, _, code := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 1 || !strings.Contains(out, "FAIL") {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+}
+
+func TestCompareAllocImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{"allocs/op": 500})
+	cur := snap(t, dir, "cur.json", "go1.22", map[string]float64{"allocs/op": 100})
+	if _, _, code := runDiff(t, "-baseline", base, "-current", cur); code != 0 {
+		t.Fatal("an allocation improvement must not fail the gate")
+	}
+}
+
+func TestCompareCycleMetricDriftFailsBothWays(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{"imp_speedup": 1.40})
+	for _, cur := range []float64{1.10, 1.70} {
+		curPath := snap(t, dir, "cur.json", "go1.22", map[string]float64{"imp_speedup": cur})
+		out, _, code := runDiff(t, "-baseline", base, "-current", curPath)
+		if code != 1 || !strings.Contains(out, "deterministic cycle metric") {
+			t.Fatalf("drift to %v: exit %d, out %q", cur, code, out)
+		}
+	}
+}
+
+func TestCompareTimingOnlyWarns(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{"ns/op": 100, "accesses/s": 5e6})
+	cur := snap(t, dir, "cur.json", "go1.22", map[string]float64{"ns/op": 200, "accesses/s": 2e6})
+	out, _, code := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("timing noise failed the gate: %q", out)
+	}
+	if !strings.Contains(out, "WARN") {
+		t.Errorf("big timing regression produced no warning: %q", out)
+	}
+	// With -strict-time the ns/op regression becomes fatal.
+	if _, _, code := runDiff(t, "-baseline", base, "-current", cur, "-strict-time"); code != 1 {
+		t.Fatal("-strict-time did not fail on a 2x ns/op regression")
+	}
+}
+
+func TestCompareCrossGoVersionDemotesAllocs(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22.1", map[string]float64{"allocs/op": 500, "imp_speedup": 1.4})
+	cur := snap(t, dir, "cur.json", "go1.24.0", map[string]float64{"allocs/op": 600, "imp_speedup": 1.4})
+	out, _, code := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 0 {
+		t.Fatalf("cross-version allocs drift failed the gate: %q", out)
+	}
+	if !strings.Contains(out, "different Go releases") {
+		t.Errorf("missing cross-version note: %q", out)
+	}
+}
+
+// TestComparePatchReleaseKeepsAllocGate pins the goMinor rule: snapshots
+// from two patch releases of one Go minor are comparable, so the allocs/op
+// gate must still fail.
+func TestComparePatchReleaseKeepsAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.24.0", map[string]float64{"allocs/op": 500})
+	cur := snap(t, dir, "cur.json", "go1.24.5", map[string]float64{"allocs/op": 600})
+	out, _, code := runDiff(t, "-baseline", base, "-current", cur)
+	if code != 1 || !strings.Contains(out, "FAIL") {
+		t.Fatalf("patch-release alloc regression not gated: exit %d, out %q", code, out)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	base := snap(t, dir, "base.json", "go1.22", map[string]float64{"ns/op": 100})
+	curData := `{"schema":1,"go":"go1.22","benchmarks":{}}`
+	curPath := filepath.Join(dir, "cur.json")
+	os.WriteFile(curPath, []byte(curData), 0o644)
+	out, _, code := runDiff(t, "-baseline", base, "-current", curPath)
+	if code != 1 || !strings.Contains(out, "missing from current run") {
+		t.Fatalf("exit %d, out %q", code, out)
+	}
+}
+
+// TestRoundTripThroughRealFormat parses the sample, then compares it with
+// itself — a self-compare must always be clean.
+func TestRoundTripThroughRealFormat(t *testing.T) {
+	in := writeSample(t)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if _, errb, code := runDiff(t, "-parse", in, "-out", a); code != 0 {
+		t.Fatal(errb)
+	}
+	if _, errb, code := runDiff(t, "-parse", in, "-out", b); code != 0 {
+		t.Fatal(errb)
+	}
+	out, _, code := runDiff(t, "-baseline", a, "-current", b)
+	if code != 0 {
+		t.Fatalf("self-compare failed: %s", out)
+	}
+}

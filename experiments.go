@@ -4,10 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/impsim/imp/internal/harness"
+	"github.com/impsim/imp/internal/progcache"
+	"github.com/impsim/imp/internal/workload"
 )
 
 // ExpOptions parameterize an experiment run.
@@ -116,27 +117,18 @@ func registerExp(id, title string, run func(opt ExpOptions) (*Table, error)) {
 	Experiments.list = append(Experiments.list, &Experiment{ID: id, Title: title, Run: run})
 }
 
-// runner caches built traces across the configurations of one experiment and
+// runner resolves traces for one experiment through the shared progcache
+// (in-process LRU + on-disk binary traces — see internal/progcache) and
 // fans simulation points out over the harness worker pool. It is safe for
-// the concurrent use the sweep engine makes of it.
+// the concurrent use the sweep engine makes of it: the cache builds each
+// trace exactly once and latecomers share the outcome.
 type runner struct {
 	id  string
 	opt ExpOptions
-
-	mu    sync.Mutex
-	progs map[string]*progEntry // key: workload|swpref
-}
-
-// progEntry builds one trace exactly once, even when several concurrent
-// points need it; latecomers block on once and share the outcome.
-type progEntry struct {
-	once sync.Once
-	p    *Program
-	err  error
 }
 
 func newRunner(id string, opt ExpOptions) *runner {
-	return &runner{id: id, opt: opt.withDefaults(), progs: make(map[string]*progEntry)}
+	return &runner{id: id, opt: opt.withDefaults()}
 }
 
 func (r *runner) workloads(def []string) []string {
@@ -147,30 +139,16 @@ func (r *runner) workloads(def []string) []string {
 }
 
 func (r *runner) program(name string, swpref bool) (*Program, error) {
-	key := name
-	if swpref {
-		key += "|sw"
-	}
-	r.mu.Lock()
-	e, ok := r.progs[key]
-	if !ok {
-		e = &progEntry{}
-		r.progs[key] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() {
-		// A panicking build must be recorded as the entry's error: sync.Once
-		// would otherwise mark the entry complete with p=nil, err=nil and
-		// every sibling point sharing this trace would nil-deref.
-		defer func() {
-			if rec := recover(); rec != nil {
-				e.err = fmt.Errorf("building %s trace: panic: %v", name, rec)
-			}
-		}()
-		e.p, e.err = BuildProgram(name, r.opt.Cores, r.opt.Scale, swpref,
-			harness.SeedFor(r.opt.Seed, name))
+	p, err := progcache.Get(name, workload.Options{
+		Cores:            r.opt.Cores,
+		Scale:            r.opt.Scale,
+		SoftwarePrefetch: swpref,
+		Seed:             harness.SeedFor(r.opt.Seed, name),
 	})
-	return e.p, e.err
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: p}, nil
 }
 
 // expPoint is one (workload, config) cell of an experiment's sweep grid.

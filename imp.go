@@ -22,9 +22,12 @@ package imp
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"github.com/impsim/imp/internal/core"
 	"github.com/impsim/imp/internal/cpu"
+	"github.com/impsim/imp/internal/progcache"
 	"github.com/impsim/imp/internal/sim"
 	"github.com/impsim/imp/internal/trace"
 	"github.com/impsim/imp/internal/workload"
@@ -143,8 +146,13 @@ func StorageCost(partial bool) core.StorageCost {
 
 // BuildProgram traces a workload once for reuse across Run calls with
 // the same workload/cores/scale (experiments sweep systems over one trace).
+// Builds go through the trace cache: identical (workload, cores, scale,
+// swpref, seed) requests are served from memory within a process and from
+// the on-disk binary trace store across processes (set IMP_TRACE_CACHE to
+// relocate it, or IMP_TRACE_CACHE=off to always rebuild). The returned
+// program is shared and must be treated as read-only.
 func BuildProgram(name string, cores int, scale float64, swpref bool, seed int64) (*Program, error) {
-	p, err := workload.Build(name, workload.Options{
+	p, err := progcache.Get(name, workload.Options{
 		Cores: cores, Scale: scale, SoftwarePrefetch: swpref, Seed: seed,
 	})
 	if err != nil {
@@ -161,6 +169,62 @@ func (p *Program) Accesses() uint64 { return p.p.TotalAccesses() }
 
 // Instructions returns the total dynamic instruction count.
 func (p *Program) Instructions() uint64 { return p.p.TotalInstructions() }
+
+// WriteTo encodes the program in the versioned binary trace format
+// (varint-delta records, ~6-8 bytes per access instead of 24 in memory).
+// The same format backs the on-disk trace cache and `imptrace encode`.
+func (p *Program) WriteTo(w io.Writer) (int64, error) { return p.p.WriteTo(w) }
+
+// WriteFile encodes the program to path (atomic temp-file-and-rename).
+func (p *Program) WriteFile(path string) error { return p.p.WriteFile(path) }
+
+// ReadProgram decodes a binary trace from r, verifying its checksum and
+// materializing all records. To replay without materializing, use
+// RunTraceFile.
+func ReadProgram(r io.Reader) (*Program, error) {
+	tp, err := trace.ReadProgram(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{p: tp}, nil
+}
+
+// ReadProgramFile loads a binary trace written by WriteFile or `imptrace
+// encode`.
+func ReadProgramFile(path string) (*Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ReadProgram(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// RunTraceFile replays an encoded trace file under cfg, streaming records
+// from disk with memory bounded by the replay lookahead window — the way to
+// run traces too large to materialize. The trace defines the core count and
+// inputs; cfg.Workload, cfg.Cores, cfg.Scale and cfg.Seed are ignored.
+func RunTraceFile(path string, cfg Config) (*Result, error) {
+	fs, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	cfg.Cores = fs.Cores()
+	scfg, err := cfg.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.RunSource(fs, scfg)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(m), nil
+}
 
 // RunProgram simulates a pre-built trace under cfg (cfg.Workload/Scale/Seed
 // are ignored; the program defines them).
@@ -179,7 +243,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	prog := cfg.program
 	if prog == nil {
-		p, err := workload.Build(cfg.Workload, workload.Options{
+		p, err := progcache.Get(cfg.Workload, workload.Options{
 			Cores:            cfg.Cores,
 			Scale:            cfg.Scale,
 			SoftwarePrefetch: cfg.System == SystemSWPrefetch,

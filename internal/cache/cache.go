@@ -50,25 +50,32 @@ func FullMask(sectorBytes int) SectorMask {
 }
 
 // MaskForRange returns the sector mask covering bytes
-// [offset, offset+size) of a line.
+// [offset, offset+size) of a line. Computed arithmetically — this runs once
+// per simulated access, where the per-sector loop showed up in profiles.
 func MaskForRange(offset, size uint64, sectorBytes int) SectorMask {
 	if size == 0 {
 		size = 1
 	}
+	n := uint64(mem.LineSize / sectorBytes)
 	lo := offset / uint64(sectorBytes)
-	hi := (offset + size - 1) / uint64(sectorBytes)
-	var m SectorMask
-	for i := lo; i <= hi && i < uint64(mem.LineSize/sectorBytes); i++ {
-		m |= 1 << i
+	if lo >= n {
+		return 0
 	}
-	return m
+	hi := (offset + size - 1) / uint64(sectorBytes)
+	if hi >= n {
+		hi = n - 1
+	}
+	// Bits [lo, hi] set; hi < 8 so the shifts stay in range.
+	return SectorMask((uint(1)<<(hi+1) - 1) &^ (uint(1)<<lo - 1))
 }
 
 // Count returns the number of sectors in the mask.
 func (m SectorMask) Count() int { return bits.OnesCount8(uint8(m)) }
 
 // Line is one cache frame. Fields are exported so the simulator and the
-// Granularity Predictor can inspect evicted lines.
+// Granularity Predictor can inspect evicted lines. Callers may flip State
+// between Shared and Modified in place, but removing a line must go through
+// Invalidate so the cache's tag index stays in sync.
 type Line struct {
 	Tag        uint64 // line id (address >> 6); meaningful only when State != Invalid
 	State      State
@@ -132,11 +139,21 @@ func (r LookupResult) String() string {
 	}
 }
 
+// tagFree marks an empty frame in the tag array. Line ids are addresses
+// shifted right by 6 within a 48-bit space, so no real line ever matches.
+const tagFree = ^uint64(0)
+
 // Cache is a single set-associative sector cache. It is not safe for
 // concurrent use; the simulator serializes accesses.
+//
+// Tags live in a dense parallel array rather than in the Line frames: the
+// way scan in find is the hottest loop of the whole simulator, and scanning
+// packed uint64 tags touches one cacheline per set instead of one per way.
 type Cache struct {
 	cfg      Config
-	sets     [][]Line
+	ways     int
+	tags     []uint64 // numSets*ways; tagFree when the frame is Invalid
+	lines    []Line   // parallel to tags
 	setMask  uint64
 	fullMask SectorMask
 	clock    uint64
@@ -149,14 +166,15 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	numSets := cfg.SizeBytes / (cfg.Ways * mem.LineSize)
-	sets := make([][]Line, numSets)
-	frames := make([]Line, numSets*cfg.Ways)
-	for i := range sets {
-		sets[i], frames = frames[:cfg.Ways], frames[cfg.Ways:]
+	tags := make([]uint64, numSets*cfg.Ways)
+	for i := range tags {
+		tags[i] = tagFree
 	}
 	return &Cache{
 		cfg:      cfg,
-		sets:     sets,
+		ways:     cfg.Ways,
+		tags:     tags,
+		lines:    make([]Line, numSets*cfg.Ways),
 		setMask:  uint64(numSets - 1),
 		fullMask: FullMask(cfg.SectorBytes),
 	}
@@ -166,7 +184,7 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // NumSets returns the number of sets.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.tags) / c.ways }
 
 // SectorsPerLine returns the number of sectors in each line.
 func (c *Cache) SectorsPerLine() int { return mem.LineSize / c.cfg.SectorBytes }
@@ -179,14 +197,16 @@ func (c *Cache) MaskFor(addr mem.Addr, size int) SectorMask {
 	return MaskForRange(addr.Offset(), uint64(size), c.cfg.SectorBytes)
 }
 
-func (c *Cache) set(lineID uint64) []Line { return c.sets[lineID&c.setMask] }
+// setBase returns the first frame index of lineID's set.
+func (c *Cache) setBase(lineID uint64) int { return int(lineID&c.setMask) * c.ways }
 
 // find returns the frame holding lineID, or nil.
 func (c *Cache) find(lineID uint64) *Line {
-	set := c.set(lineID)
-	for i := range set {
-		if set[i].State != Invalid && set[i].Tag == lineID {
-			return &set[i]
+	base := c.setBase(lineID)
+	tags := c.tags[base : base+c.ways]
+	for i, tg := range tags {
+		if tg == lineID {
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -262,17 +282,25 @@ func (c *Cache) Insert(lineID uint64, sectors SectorMask, st State, fillTime int
 		ln.lru = c.clock
 		return Eviction{}
 	}
-	set := c.set(lineID)
-	victim := &set[0]
-	for i := range set {
-		if set[i].State == Invalid {
-			victim = &set[i]
+	base := c.setBase(lineID)
+	set := c.lines[base : base+c.ways]
+	// Prefer a free way (cheap tag scan); otherwise evict the LRU frame.
+	vi := -1
+	for i, tg := range c.tags[base : base+c.ways] {
+		if tg == tagFree {
+			vi = i
 			break
 		}
-		if set[i].lru < victim.lru {
-			victim = &set[i]
+	}
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[vi].lru {
+				vi = i
+			}
 		}
 	}
+	victim := &set[vi]
 	ev := Eviction{}
 	if victim.State != Invalid {
 		ev = Eviction{
@@ -289,6 +317,7 @@ func (c *Cache) Insert(lineID uint64, sectors SectorMask, st State, fillTime int
 		Tag: lineID, State: st, Valid: sectors, FillTime: fillTime,
 		Prefetched: prefetched, lru: c.clock,
 	}
+	c.tags[base+vi] = lineID
 	return ev
 }
 
@@ -296,14 +325,20 @@ func (c *Cache) Insert(lineID uint64, sectors SectorMask, st State, fillTime int
 // prior state (Invalid if it was not present) and whether the line was a
 // never-used prefetch.
 func (c *Cache) Invalidate(lineID uint64) (State, bool) {
-	ln := c.find(lineID)
-	if ln == nil {
-		return Invalid, false
+	base := c.setBase(lineID)
+	tags := c.tags[base : base+c.ways]
+	for i, tg := range tags {
+		if tg != lineID {
+			continue
+		}
+		ln := &c.lines[base+i]
+		st := ln.State
+		wasted := ln.Prefetched && !ln.Used
+		*ln = Line{}
+		tags[i] = tagFree
+		return st, wasted
 	}
-	st := ln.State
-	wasted := ln.Prefetched && !ln.Used
-	*ln = Line{}
-	return st, wasted
+	return Invalid, false
 }
 
 // Downgrade moves lineID from Modified to Shared (directory recall),
@@ -320,11 +355,9 @@ func (c *Cache) Downgrade(lineID uint64) bool {
 // ForEachValid calls fn for every valid line. Used by tests and end-of-run
 // accuracy accounting (prefetched lines still resident count as unused).
 func (c *Cache) ForEachValid(fn func(*Line)) {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			if c.sets[s][w].State != Invalid {
-				fn(&c.sets[s][w])
-			}
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
 		}
 	}
 }

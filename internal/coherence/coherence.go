@@ -6,12 +6,22 @@
 //
 // The directory computes *what must happen* (which cores to invalidate or
 // downgrade); the simulator turns that into NoC messages and latency.
+//
+// Directory state lives in an open-addressed hash table of inline entries
+// rather than a Go map: the directory is consulted on every shared-resource
+// event, and map hashing plus per-entry pointer allocations dominated the
+// simulator's allocation profile.
 package coherence
 
 import "fmt"
 
 // DefaultK is the ACKwise sharer-tracking limit used in the paper.
 const DefaultK = 4
+
+// maxK bounds the precise sharer list so it can live inline in the entry
+// (no per-entry slice allocation). ACKwise_k with k beyond 8 defeats the
+// point of a limited directory; New rejects it.
+const maxK = 8
 
 // DirState is the directory-side state of a line.
 type DirState uint8
@@ -34,17 +44,19 @@ func (s DirState) String() string {
 	}
 }
 
-// Entry is one directory line's bookkeeping.
+// Entry is one directory line's bookkeeping. It contains no pointers so the
+// backing table stays invisible to the garbage collector.
 type Entry struct {
 	State    DirState
-	sharers  []int16 // precise sharer list, len <= k
-	count    int     // true sharer count (>= len(sharers) when overflowed)
-	overflow bool    // sharer set exceeded k: invalidations broadcast
-	owner    int16   // valid when State == OwnedBy
+	ns       uint8 // live prefix of sharers
+	overflow bool  // sharer set exceeded k: invalidations broadcast
+	owner    int16 // valid when State == OwnedBy
+	count    int32 // true sharer count (>= ns when overflowed)
+	sharers  [maxK]int16
 }
 
 // Sharers returns the number of sharers the directory believes exist.
-func (e *Entry) Sharers() int { return e.count }
+func (e *Entry) Sharers() int { return int(e.count) }
 
 // Overflowed reports whether the precise sharer list overflowed.
 func (e *Entry) Overflowed() bool { return e.overflow }
@@ -70,40 +82,150 @@ type Stats struct {
 	Downgrades        uint64
 }
 
+// Slot states of the open-addressed table.
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTomb
+)
+
 // Directory tracks every line resident in one (or all) L2 slice(s). Entries
 // are created on first use and dropped on L2 eviction.
 type Directory struct {
 	k        int
 	numCores int
-	entries  map[uint64]*Entry
 	stats    Stats
+
+	// Open-addressed table: linear probing with tombstone deletion.
+	keys  []uint64
+	vals  []Entry
+	state []uint8
+	live  int // slotFull count
+	dead  int // slotTomb count
 }
 
+const initialSlots = 256
+
 // New returns a directory with ACKwise_k tracking for numCores cores.
+// k must be in [1, 8] so the precise sharer list stays inline.
 func New(k, numCores int) *Directory {
 	if k <= 0 || numCores <= 0 {
 		panic(fmt.Sprintf("coherence: invalid directory (k=%d cores=%d)", k, numCores))
 	}
-	return &Directory{k: k, numCores: numCores, entries: make(map[uint64]*Entry)}
+	if k > maxK {
+		panic(fmt.Sprintf("coherence: k=%d exceeds the inline sharer limit %d", k, maxK))
+	}
+	d := &Directory{k: k, numCores: numCores}
+	d.initTable(initialSlots)
+	return d
+}
+
+func (d *Directory) initTable(n int) {
+	d.keys = make([]uint64, n)
+	d.vals = make([]Entry, n)
+	d.state = make([]uint8, n)
+	d.live, d.dead = 0, 0
+}
+
+// hashLine is a 64-bit finalizer (splitmix64): line ids are near-sequential
+// per slice, so identity hashing would pile everything into a probe run.
+func hashLine(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // Stats returns a copy of the counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
-// Entry returns the directory entry for lineID, or nil.
-func (d *Directory) Entry(lineID uint64) *Entry { return d.entries[lineID] }
-
-func (d *Directory) entry(lineID uint64) *Entry {
-	e := d.entries[lineID]
-	if e == nil {
-		e = &Entry{owner: -1}
-		d.entries[lineID] = e
+// Entry returns the directory entry for lineID, or nil. The pointer is
+// valid until the next directory mutation (the table may rehash).
+func (d *Directory) Entry(lineID uint64) *Entry {
+	if i := d.find(lineID); i >= 0 {
+		return &d.vals[i]
 	}
-	return e
+	return nil
+}
+
+// find returns the slot holding lineID, or -1.
+func (d *Directory) find(lineID uint64) int {
+	mask := uint64(len(d.keys) - 1)
+	for i := hashLine(lineID) & mask; ; i = (i + 1) & mask {
+		switch d.state[i] {
+		case slotEmpty:
+			return -1
+		case slotFull:
+			if d.keys[i] == lineID {
+				return int(i)
+			}
+		}
+	}
+}
+
+// entry returns the entry for lineID, creating it if absent.
+func (d *Directory) entry(lineID uint64) *Entry {
+	// Grow (or rehash away tombstones) before the load factor passes 3/4 so
+	// the returned pointer stays valid until the next mutation.
+	if 4*(d.live+d.dead+1) > 3*len(d.keys) {
+		d.rehash()
+	}
+	mask := uint64(len(d.keys) - 1)
+	firstTomb := -1
+	for i := hashLine(lineID) & mask; ; i = (i + 1) & mask {
+		switch d.state[i] {
+		case slotEmpty:
+			j := int(i)
+			if firstTomb >= 0 {
+				j = firstTomb
+				d.dead--
+			}
+			d.keys[j] = lineID
+			d.state[j] = slotFull
+			d.vals[j] = Entry{owner: -1}
+			d.live++
+			return &d.vals[j]
+		case slotFull:
+			if d.keys[i] == lineID {
+				return &d.vals[i]
+			}
+		case slotTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		}
+	}
+}
+
+// rehash rebuilds the table, doubling when genuinely full (not just
+// tombstone-laden).
+func (d *Directory) rehash() {
+	n := len(d.keys)
+	if 2*d.live >= n {
+		n *= 2
+	}
+	oldKeys, oldVals, oldState := d.keys, d.vals, d.state
+	d.initTable(n)
+	mask := uint64(n - 1)
+	for i, st := range oldState {
+		if st != slotFull {
+			continue
+		}
+		j := hashLine(oldKeys[i]) & mask
+		for d.state[j] == slotFull {
+			j = (j + 1) & mask
+		}
+		d.keys[j] = oldKeys[i]
+		d.vals[j] = oldVals[i]
+		d.state[j] = slotFull
+		d.live++
+	}
 }
 
 func (e *Entry) hasSharer(core int) bool {
-	for _, s := range e.sharers {
+	for _, s := range e.sharers[:e.ns] {
 		if int(s) == core {
 			return true
 		}
@@ -116,17 +238,19 @@ func (e *Entry) addSharer(core, k int) {
 		return
 	}
 	e.count++
-	if len(e.sharers) < k {
-		e.sharers = append(e.sharers, int16(core))
+	if int(e.ns) < k {
+		e.sharers[e.ns] = int16(core)
+		e.ns++
 		return
 	}
 	e.overflow = true
 }
 
 func (e *Entry) removeSharer(core int) {
-	for i, s := range e.sharers {
+	for i, s := range e.sharers[:e.ns] {
 		if int(s) == core {
-			e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
+			copy(e.sharers[i:e.ns-1], e.sharers[i+1:e.ns])
+			e.ns--
 			if e.count > 0 {
 				e.count--
 			}
@@ -134,9 +258,15 @@ func (e *Entry) removeSharer(core int) {
 		}
 	}
 	// Not tracked precisely: decrement the count if overflowed.
-	if e.overflow && e.count > len(e.sharers) {
+	if e.overflow && int(e.count) > int(e.ns) {
 		e.count--
 	}
+}
+
+func (e *Entry) clearSharers() {
+	e.ns = 0
+	e.count = 0
+	e.overflow = false
 }
 
 // Read records core fetching the line in Shared state and returns the
@@ -158,9 +288,7 @@ func (d *Directory) Read(lineID uint64, core int) Action {
 		prev := int(e.owner)
 		e.State = SharedBy
 		e.owner = -1
-		e.count = 0
-		e.sharers = e.sharers[:0]
-		e.overflow = false
+		e.clearSharers()
 		e.addSharer(prev, d.k)
 	}
 	if e.State == Uncached {
@@ -188,7 +316,7 @@ func (d *Directory) Write(lineID uint64, core int) Action {
 	case SharedBy:
 		if e.overflow {
 			act.Broadcast = true
-			act.Acks = e.count
+			act.Acks = int(e.count)
 			if e.hasSharer(core) {
 				// The requester does not ack itself. When the requester is a
 				// sharer the directory stopped tracking (overflow), the extra
@@ -198,7 +326,7 @@ func (d *Directory) Write(lineID uint64, core int) Action {
 			d.stats.Broadcasts++
 			d.stats.InvalidationsSent += uint64(d.numCores - 1)
 		} else {
-			for _, s := range e.sharers {
+			for _, s := range e.sharers[:e.ns] {
 				if int(s) != core {
 					act.Invalidate = append(act.Invalidate, int(s))
 				}
@@ -209,19 +337,19 @@ func (d *Directory) Write(lineID uint64, core int) Action {
 	}
 	e.State = OwnedBy
 	e.owner = int16(core)
-	e.sharers = e.sharers[:0]
+	e.clearSharers()
 	e.count = 1
-	e.overflow = false
 	return act
 }
 
 // EvictL1 records that core silently dropped its copy (L1 eviction notice),
 // keeping the sharer list precise where possible.
 func (d *Directory) EvictL1(lineID uint64, core int) {
-	e := d.entries[lineID]
-	if e == nil {
+	i := d.find(lineID)
+	if i < 0 {
 		return
 	}
+	e := &d.vals[i]
 	if e.State == OwnedBy && int(e.owner) == core {
 		e.State = Uncached
 		e.owner = -1
@@ -238,11 +366,12 @@ func (d *Directory) EvictL1(lineID uint64, core int) {
 // EvictL2 removes the directory entry (the home L2 slice evicted the line)
 // and returns the action needed to recall all cached copies.
 func (d *Directory) EvictL2(lineID uint64) Action {
-	e := d.entries[lineID]
 	act := Action{DowngradeOwner: -1}
-	if e == nil {
+	i := d.find(lineID)
+	if i < 0 {
 		return act
 	}
+	e := &d.vals[i]
 	switch e.State {
 	case OwnedBy:
 		act.Invalidate = []int{int(e.owner)}
@@ -252,20 +381,23 @@ func (d *Directory) EvictL2(lineID uint64) Action {
 	case SharedBy:
 		if e.overflow {
 			act.Broadcast = true
-			act.Acks = e.count
+			act.Acks = int(e.count)
 			d.stats.Broadcasts++
 			d.stats.InvalidationsSent += uint64(d.numCores)
 		} else {
-			for _, s := range e.sharers {
+			for _, s := range e.sharers[:e.ns] {
 				act.Invalidate = append(act.Invalidate, int(s))
 			}
 			act.Acks = len(act.Invalidate)
 			d.stats.InvalidationsSent += uint64(len(act.Invalidate))
 		}
 	}
-	delete(d.entries, lineID)
+	d.state[i] = slotTomb
+	d.vals[i] = Entry{}
+	d.live--
+	d.dead++
 	return act
 }
 
 // Lines returns the number of tracked lines (for tests).
-func (d *Directory) Lines() int { return len(d.entries) }
+func (d *Directory) Lines() int { return d.live }

@@ -107,7 +107,7 @@ type IMP struct {
 	gp     *GranularityPredictor
 	clock  uint64
 	stats  Stats
-	reqs   []prefetch.Request // reused between Observe calls
+	reqs   []prefetch.Request // the in-flight Observe output (caller's slice)
 }
 
 // New builds an IMP instance reading index values through memory.
@@ -138,10 +138,11 @@ func (m *IMP) Stats() Stats { return m.stats }
 func (m *IMP) GP() *GranularityPredictor { return m.gp }
 
 // Observe implements prefetch.Prefetcher: it is called once per L1 demand
-// access with the hit/miss outcome and, for loads, the loaded value.
-func (m *IMP) Observe(a prefetch.Access) []prefetch.Request {
+// access with the hit/miss outcome and, for loads, the loaded value. New
+// requests are appended to reqs (Parent indexes the full returned slice).
+func (m *IMP) Observe(a prefetch.Access, reqs []prefetch.Request) []prefetch.Request {
 	m.clock++
-	m.reqs = m.reqs[:0]
+	m.reqs = reqs
 
 	// 1. Match the access against enabled patterns: confidence bump and
 	//    second-level index capture (§3.2.3, §3.3.2).
@@ -155,7 +156,9 @@ func (m *IMP) Observe(a prefetch.Access) []prefetch.Request {
 		m.ipdObserveMiss(a.Addr)
 	}
 
-	return m.reqs
+	out := m.reqs
+	m.reqs = nil
+	return out
 }
 
 // matchPatterns checks the access address against every enabled pattern's

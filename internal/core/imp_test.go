@@ -34,7 +34,7 @@ func (h *harness) access(pc trace.PC, addr mem.Addr, size int, store bool) []pre
 	if !store {
 		a.Value = h.space.ReadWord(addr)
 	}
-	reqs := h.m.Observe(a)
+	reqs := h.m.Observe(a, nil)
 	for _, r := range reqs {
 		h.lines[r.Addr.LineID()] = true
 	}

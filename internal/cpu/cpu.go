@@ -36,7 +36,10 @@ type pendingLoad struct {
 type Pipeline struct {
 	kind    Kind
 	window  uint64
-	pending []pendingLoad // FIFO, oldest first
+	pending []pendingLoad // FIFO of [head:len], oldest first
+	// head indexes the oldest live entry; popping advances it instead of
+	// reslicing so the buffer is reused allocation-free once warm.
+	head int
 	// lastComplete is the completion time of the most recent load, for
 	// dependent (indirect) accesses.
 	lastComplete int64
@@ -50,7 +53,11 @@ func New(kind Kind, window int) *Pipeline {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &Pipeline{kind: kind, window: uint64(window)}
+	p := &Pipeline{kind: kind, window: uint64(window)}
+	if kind == OutOfOrder {
+		p.pending = make([]pendingLoad, 0, 2*window)
+	}
+	return p
 }
 
 // Kind returns the pipeline model kind.
@@ -75,17 +82,21 @@ func (p *Pipeline) Gate(now int64, instr uint64, depPrev bool) int64 {
 	t := now
 	// Retire outstanding loads that have completed by t as we go; stall on
 	// those still in flight but too old to keep speculating past.
-	for len(p.pending) > 0 {
-		oldest := p.pending[0]
+	for p.head < len(p.pending) {
+		oldest := p.pending[p.head]
 		if oldest.complete <= t {
-			p.pending = p.pending[1:]
+			p.head++
 			continue
 		}
 		if instr-oldest.instr < p.window {
 			break
 		}
 		t = oldest.complete
-		p.pending = p.pending[1:]
+		p.head++
+	}
+	if p.head == len(p.pending) {
+		p.pending = p.pending[:0]
+		p.head = 0
 	}
 	if depPrev && p.lastComplete > t {
 		t = p.lastComplete
@@ -104,6 +115,12 @@ func (p *Pipeline) NoteLoad(instr uint64, complete int64) {
 	if p.kind == InOrder {
 		return
 	}
+	if len(p.pending) == cap(p.pending) && p.head > 0 {
+		// Compact the dead prefix instead of growing the buffer.
+		n := copy(p.pending, p.pending[p.head:])
+		p.pending = p.pending[:n]
+		p.head = 0
+	}
 	p.pending = append(p.pending, pendingLoad{instr: instr, complete: complete})
 }
 
@@ -111,12 +128,13 @@ func (p *Pipeline) NoteLoad(instr uint64, complete int64) {
 // returns the time the pipeline is empty.
 func (p *Pipeline) Drain(now int64) int64 {
 	t := now
-	for _, pl := range p.pending {
+	for _, pl := range p.pending[p.head:] {
 		if pl.complete > t {
 			t = pl.complete
 		}
 	}
 	p.pending = p.pending[:0]
+	p.head = 0
 	if p.lastComplete > t && p.kind == InOrder {
 		t = now // in-order cores already waited inline
 	}
@@ -124,8 +142,8 @@ func (p *Pipeline) Drain(now int64) int64 {
 }
 
 // Outstanding returns the number of loads in flight.
-func (p *Pipeline) Outstanding() int { return len(p.pending) }
+func (p *Pipeline) Outstanding() int { return len(p.pending) - p.head }
 
 func (p *Pipeline) String() string {
-	return fmt.Sprintf("Pipeline{%v window=%d pending=%d}", p.kind, p.window, len(p.pending))
+	return fmt.Sprintf("Pipeline{%v window=%d pending=%d}", p.kind, p.window, len(p.pending)-p.head)
 }

@@ -8,10 +8,7 @@
 // read them from a fetched cacheline — reads words back by virtual address.
 package mem
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Architectural constants used throughout the simulator. They mirror
 // Table 1 of the paper.
@@ -87,12 +84,16 @@ type Region struct {
 	Name string
 	Base Addr
 	kind Kind
+	end  Addr // Base + size, precomputed: Find runs on the simulator hot path
 
 	i32 []int32
 	i64 []int64
 	f64 []float64
 	b   []byte
 }
+
+// Kind returns the region's element kind.
+func (r *Region) Kind() Kind { return r.kind }
 
 // Len returns the number of elements in the region.
 func (r *Region) Len() int {
@@ -115,7 +116,7 @@ func (r *Region) ElemSize() int { return r.kind.elemSize() }
 func (r *Region) Size() int { return r.Len() * r.ElemSize() }
 
 // End returns the first address past the region.
-func (r *Region) End() Addr { return r.Base + Addr(r.Size()) }
+func (r *Region) End() Addr { return r.end }
 
 // Addr returns the virtual address of element i.
 func (r *Region) Addr(i int) Addr { return r.Base + Addr(i*r.ElemSize()) }
@@ -168,12 +169,29 @@ func NewSpace() *Space {
 	return &Space{next: 0x1000_0000}
 }
 
-// alloc reserves n elements of kind k under name and returns the region.
+// alloc reserves n elements of kind k under name at the next free base and
+// returns the region. It panics on a negative size, which is a programming
+// error in workload construction.
 func (s *Space) alloc(name string, k Kind, n int) *Region {
-	if n < 0 {
-		panic(fmt.Sprintf("mem: negative allocation %q (%d)", name, n))
+	r, err := s.allocAt(name, k, s.next, n)
+	if err != nil {
+		panic(err.Error())
 	}
-	r := &Region{Name: name, Base: s.next, kind: k}
+	return r
+}
+
+// allocAt is the single allocation path shared by workload construction
+// (alloc, base = s.next) and the trace decoder (AllocAt, explicit base).
+// Keeping one implementation guarantees decoded address spaces reproduce
+// built ones exactly — layout rules can never drift between the two.
+func (s *Space) allocAt(name string, k Kind, base Addr, n int) (*Region, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mem: negative allocation %q (%d)", name, n)
+	}
+	if base < s.next {
+		return nil, fmt.Errorf("mem: region %q at %v overlaps allocated space (next free %v)", name, base, s.next)
+	}
+	r := &Region{Name: name, Base: base, kind: k}
 	switch k {
 	case KindInt32:
 		r.i32 = make([]int32, n)
@@ -181,15 +199,18 @@ func (s *Space) alloc(name string, k Kind, n int) *Region {
 		r.i64 = make([]int64, n)
 	case KindFloat64:
 		r.f64 = make([]float64, n)
-	default:
+	case KindBytes:
 		r.b = make([]byte, n)
+	default:
+		return nil, fmt.Errorf("mem: region %q has unknown kind %d", name, k)
 	}
 	size := Addr(n * k.elemSize())
+	r.end = base + size
 	// Round the next base up to a page boundary and leave a guard page so
 	// that off-by-one prefetches past a region never alias the next one.
-	s.next += (size + 2*PageSize - 1) &^ (PageSize - 1)
+	s.next = base + ((size + 2*PageSize - 1) &^ (PageSize - 1))
 	s.regions = append(s.regions, r)
-	return r
+	return r, nil
 }
 
 // AllocInt32 allocates a region of n int32 elements.
@@ -204,13 +225,28 @@ func (s *Space) AllocFloat64(name string, n int) *Region { return s.alloc(name, 
 // AllocBytes allocates a region of n bytes.
 func (s *Space) AllocBytes(name string, n int) *Region { return s.alloc(name, KindBytes, n) }
 
-// Find returns the region containing a, or nil if a is unmapped.
+// AllocAt reserves a region of n elements of kind k at an explicit base
+// address. The trace decoder uses it to reproduce an encoded address space
+// exactly; regions must arrive in ascending, non-overlapping order.
+func (s *Space) AllocAt(name string, k Kind, base Addr, n int) (*Region, error) {
+	return s.allocAt(name, k, base, n)
+}
+
+// Find returns the region containing a, or nil if a is unmapped. The binary
+// search is hand-rolled: Find runs once per simulated access (prefetcher
+// value taps), where sort.Search's closure overhead is measurable.
 func (s *Space) Find(a Addr) *Region {
-	i := sort.Search(len(s.regions), func(i int) bool {
-		return s.regions[i].End() > a
-	})
-	if i < len(s.regions) && s.regions[i].Contains(a) {
-		return s.regions[i]
+	lo, hi := 0, len(s.regions)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if s.regions[m].end > a {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	if lo < len(s.regions) && s.regions[lo].Contains(a) {
+		return s.regions[lo]
 	}
 	return nil
 }
@@ -241,4 +277,31 @@ func (s *Space) Footprint() int {
 		total += r.Size()
 	}
 	return total
+}
+
+// CachedReader reads words from a Space through a one-entry region cache.
+// Accesses have strong region locality (a core streams an index array and
+// chases into one data array), so most reads skip the binary search.
+//
+// A CachedReader is NOT safe for concurrent use; give each simulated core
+// its own. The underlying Space stays shared and read-only.
+type CachedReader struct {
+	space *Space
+	last  *Region
+}
+
+// NewCachedReader returns a reader over s with an empty cache.
+func NewCachedReader(s *Space) *CachedReader { return &CachedReader{space: s} }
+
+// ReadWord behaves exactly like Space.ReadWord (unmapped reads as zero).
+func (c *CachedReader) ReadWord(a Addr) uint64 {
+	r := c.last
+	if r == nil || a < r.Base || a >= r.end {
+		r = c.space.Find(a)
+		if r == nil {
+			return 0
+		}
+		c.last = r
+	}
+	return r.word(uint64(a - r.Base))
 }

@@ -88,7 +88,8 @@ func (l *link) reserve(t int64, flits int) int64 {
 		e = l.hint
 	}
 	for {
-		slot := e % epochRing
+		// epochRing is a power of two; masking avoids a hot-path divide.
+		slot := e & (epochRing - 1)
 		if l.epoch[slot] != e {
 			l.epoch[slot] = e
 			l.used[slot] = 0

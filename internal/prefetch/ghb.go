@@ -46,6 +46,8 @@ type GHB struct {
 	filled bool
 	index  []ghbIndex
 	clock  uint64
+	// chainBuf is reused across Observe calls (one chain walk per miss).
+	chainBuf []uint64
 }
 
 // NewGHB builds the prefetcher.
@@ -64,9 +66,9 @@ func NewGHB(cfg GHBConfig) *GHB {
 func (g *GHB) Name() string { return "ghb" }
 
 // Observe implements Prefetcher. GHB trains on misses only.
-func (g *GHB) Observe(a Access) []Request {
+func (g *GHB) Observe(a Access, reqs []Request) []Request {
 	if !a.Miss || a.Store {
-		return nil
+		return reqs
 	}
 	g.clock++
 	line := a.Addr.LineID()
@@ -87,7 +89,7 @@ func (g *GHB) Observe(a Access) []Request {
 	// Walk the chain to get recent miss lines for this PC.
 	chain := g.chain(pos, 3+g.cfg.Degree)
 	if len(chain) < 3 {
-		return nil
+		return reqs
 	}
 	d1 := int64(chain[0]) - int64(chain[1])
 	d2 := int64(chain[1]) - int64(chain[2])
@@ -97,20 +99,20 @@ func (g *GHB) Observe(a Access) []Request {
 		e2 := int64(chain[i]) - int64(chain[i+1])
 		if e1 == d1 && e2 == d2 {
 			// Replay deltas that followed the historical match.
-			var reqs []Request
 			cur := int64(line)
-			for k := i - 2; k >= 0 && len(reqs) < g.cfg.Degree; k-- {
+			for k, issued := i-2, 0; k >= 0 && issued < g.cfg.Degree; k-- {
 				delta := int64(chain[k]) - int64(chain[k+1])
 				cur += delta
 				if cur <= 0 {
 					break
 				}
 				reqs = append(reqs, Request{Addr: mem.Addr(uint64(cur) << mem.LineShift), Parent: -1})
+				issued++
 			}
 			return reqs
 		}
 	}
-	return nil
+	return reqs
 }
 
 // valid reports whether buffer slot i still holds a live (not overwritten)
@@ -122,15 +124,16 @@ func (g *GHB) valid(i int) bool {
 }
 
 // chain returns up to n recent miss lines for the PC chain starting at pos,
-// newest first.
+// newest first. The returned slice is valid until the next call.
 func (g *GHB) chain(pos, n int) []uint64 {
-	out := make([]uint64, 0, n)
+	out := g.chainBuf[:0]
 	seen := 0
 	for pos >= 0 && seen < n {
 		out = append(out, g.buf[pos].line)
 		pos = g.buf[pos].prev
 		seen++
 	}
+	g.chainBuf = out
 	return out
 }
 

@@ -42,9 +42,14 @@ type Request struct {
 // Prefetcher observes the access stream and emits prefetch requests.
 type Prefetcher interface {
 	// Observe is called for every demand access, after the cache lookup
-	// determined hit/miss. The returned requests are issued at the current
-	// core time, subject to the per-core outstanding-prefetch limit.
-	Observe(a Access) []Request
+	// determined hit/miss. New requests are appended to reqs and the
+	// extended slice returned, so the caller can reuse one scratch buffer
+	// across accesses (the simulator calls Observe once per demand access;
+	// per-call slice allocation dominated its profile). Request.Parent
+	// indexes into the full returned slice. The returned requests are
+	// issued at the current core time, subject to the per-core
+	// outstanding-prefetch limit.
+	Observe(a Access, reqs []Request) []Request
 	// Name identifies the prefetcher in reports.
 	Name() string
 }
@@ -53,7 +58,7 @@ type Prefetcher interface {
 type Null struct{}
 
 // Observe implements Prefetcher; it never prefetches.
-func (Null) Observe(Access) []Request { return nil }
+func (Null) Observe(_ Access, reqs []Request) []Request { return reqs }
 
 // Name implements Prefetcher.
 func (Null) Name() string { return "none" }
@@ -102,20 +107,20 @@ func NewStream(cfg StreamConfig) *Stream {
 func (s *Stream) Name() string { return "stream" }
 
 // Observe implements Prefetcher.
-func (s *Stream) Observe(a Access) []Request {
+func (s *Stream) Observe(a Access, reqs []Request) []Request {
 	s.clock++
 	line := a.Addr.LineID()
 	e := s.lookup(a.PC)
 	if e == nil {
 		e = s.victim()
 		*e = streamEntry{pc: a.PC, lastLine: line, valid: true, lru: s.clock}
-		return nil
+		return reqs
 	}
 	e.lru = s.clock
 	switch {
 	case line == e.lastLine:
 		// Same line: neither a hit nor a break.
-		return nil
+		return reqs
 	case line == e.lastLine+1:
 		if e.dir != 1 {
 			e.dir, e.hits, e.ahead = 1, 0, 0
@@ -133,15 +138,14 @@ func (s *Stream) Observe(a Access) []Request {
 		e.lastLine = line
 		e.hits = 0
 		e.ahead = 0
-		return nil
+		return reqs
 	}
 	e.lastLine = line
 	if e.hits < s.cfg.HitThreshold {
-		return nil
+		return reqs
 	}
 	// Prefetch the next MaxDistance lines in the stream direction that were
 	// not already requested.
-	var reqs []Request
 	for d := 1; d <= s.cfg.MaxDistance; d++ {
 		l := line + uint64(int64(d)*e.dir)
 		if e.ahead != 0 && sameOrBeyond(e.dir, e.ahead, l) {

@@ -14,7 +14,7 @@ func access(pc uint32, addr uint64, miss bool) Access {
 func TestNullNeverPrefetches(t *testing.T) {
 	var n Null
 	for i := 0; i < 100; i++ {
-		if got := n.Observe(access(1, uint64(i*64), true)); got != nil {
+		if got := n.Observe(access(1, uint64(i*64), true), nil); got != nil {
 			t.Fatalf("Null prefetched: %v", got)
 		}
 	}
@@ -28,7 +28,7 @@ func TestStreamDetectsSequentialLines(t *testing.T) {
 	var got []Request
 	// Sequential line-sized strides from one PC.
 	for i := 0; i < 8; i++ {
-		got = s.Observe(access(1, uint64(i)*64, true))
+		got = s.Observe(access(1, uint64(i)*64, true), nil)
 		if i < 2 && len(got) > 0 {
 			t.Fatalf("prefetched before threshold at access %d", i)
 		}
@@ -48,7 +48,7 @@ func TestStreamWithinLineAccessesDoNotAdvance(t *testing.T) {
 	s := NewStream(DefaultStreamConfig())
 	// 8 accesses to the same line: no stream.
 	for i := 0; i < 8; i++ {
-		if got := s.Observe(access(1, uint64(i)*8, false)); len(got) != 0 {
+		if got := s.Observe(access(1, uint64(i)*8, false), nil); len(got) != 0 {
 			t.Fatalf("prefetched on same-line accesses: %v", got)
 		}
 	}
@@ -58,7 +58,7 @@ func TestStreamRandomAccessesNoPrefetch(t *testing.T) {
 	s := NewStream(DefaultStreamConfig())
 	addrs := []uint64{0x1000, 0x9340, 0x200, 0x55500, 0x800, 0x123400}
 	for _, a := range addrs {
-		if got := s.Observe(access(1, a, true)); len(got) != 0 {
+		if got := s.Observe(access(1, a, true), nil); len(got) != 0 {
 			t.Fatalf("prefetched on random access %#x: %v", a, got)
 		}
 	}
@@ -68,7 +68,7 @@ func TestStreamNoDuplicatePrefetches(t *testing.T) {
 	s := NewStream(DefaultStreamConfig())
 	seen := make(map[uint64]int)
 	for i := 0; i < 50; i++ {
-		for _, r := range s.Observe(access(1, uint64(i)*64, true)) {
+		for _, r := range s.Observe(access(1, uint64(i)*64, true), nil) {
 			seen[r.Addr.LineID()]++
 		}
 	}
@@ -82,16 +82,16 @@ func TestStreamNoDuplicatePrefetches(t *testing.T) {
 func TestStreamBreakRestartsWithSamePC(t *testing.T) {
 	s := NewStream(DefaultStreamConfig())
 	for i := 0; i < 8; i++ {
-		s.Observe(access(1, uint64(i)*64, true))
+		s.Observe(access(1, uint64(i)*64, true), nil)
 	}
 	// Jump far away (outer loop restart), then stream again from there.
 	base := uint64(1 << 20)
-	if got := s.Observe(access(1, base, true)); len(got) != 0 {
+	if got := s.Observe(access(1, base, true), nil); len(got) != 0 {
 		t.Fatalf("prefetched immediately after stream break: %v", got)
 	}
 	var got []Request
 	for i := 1; i < 6; i++ {
-		got = s.Observe(access(1, base+uint64(i)*64, true))
+		got = s.Observe(access(1, base+uint64(i)*64, true), nil)
 	}
 	if len(got) == 0 {
 		t.Fatal("stream did not re-train after break")
@@ -103,8 +103,8 @@ func TestStreamSeparatePCs(t *testing.T) {
 	// Interleaved streams from two PCs must both train.
 	var got1, got2 []Request
 	for i := 0; i < 8; i++ {
-		got1 = s.Observe(access(1, uint64(i)*64, true))
-		got2 = s.Observe(access(2, 1<<20+uint64(i)*64, true))
+		got1 = s.Observe(access(1, uint64(i)*64, true), nil)
+		got2 = s.Observe(access(2, 1<<20+uint64(i)*64, true), nil)
 	}
 	if len(got1) == 0 || len(got2) == 0 {
 		t.Errorf("interleaved streams: pc1 %d reqs, pc2 %d reqs, want both > 0", len(got1), len(got2))
@@ -114,12 +114,12 @@ func TestStreamSeparatePCs(t *testing.T) {
 func TestStreamTableEviction(t *testing.T) {
 	s := NewStream(StreamConfig{Entries: 2, HitThreshold: 2, MaxDistance: 4})
 	// Touch 3 PCs; table holds 2; the oldest is evicted and must re-train.
-	s.Observe(access(1, 0, true))
-	s.Observe(access(2, 1<<20, true))
-	s.Observe(access(3, 1<<21, true)) // evicts pc 1
+	s.Observe(access(1, 0, true), nil)
+	s.Observe(access(2, 1<<20, true), nil)
+	s.Observe(access(3, 1<<21, true), nil) // evicts pc 1
 	var got []Request
 	for i := 1; i < 6; i++ {
-		got = s.Observe(access(3, 1<<21+uint64(i)*64, true))
+		got = s.Observe(access(3, 1<<21+uint64(i)*64, true), nil)
 	}
 	if len(got) == 0 {
 		t.Error("new PC did not train after eviction")
@@ -135,7 +135,7 @@ func TestGHBRepeatedPatternPrefetches(t *testing.T) {
 	for rep := 0; rep < 6; rep++ {
 		for _, p := range pattern {
 			base := uint64(rep*16) + p
-			r := g.Observe(access(7, base*64, true))
+			r := g.Observe(access(7, base*64, true), nil)
 			if len(r) > 0 {
 				got = r
 			}
@@ -154,7 +154,7 @@ func TestGHBRandomPatternSilent(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		x = x*6364136223846793005 + 1442695040888963407
 		line := (x >> 20) % (1 << 22)
-		issued += len(g.Observe(access(7, line*64, true)))
+		issued += len(g.Observe(access(7, line*64, true), nil))
 	}
 	// A tiny number of accidental matches is tolerable; a meaningful rate
 	// would contradict §5.4.
@@ -166,12 +166,12 @@ func TestGHBRandomPatternSilent(t *testing.T) {
 func TestGHBIgnoresHitsAndStores(t *testing.T) {
 	g := NewGHB(DefaultGHBConfig())
 	a := access(1, 64, false)
-	if got := g.Observe(a); got != nil {
+	if got := g.Observe(a, nil); got != nil {
 		t.Error("GHB trained on a hit")
 	}
 	st := access(1, 64, true)
 	st.Store = true
-	if got := g.Observe(st); got != nil {
+	if got := g.Observe(st, nil); got != nil {
 		t.Error("GHB trained on a store")
 	}
 }
@@ -181,7 +181,7 @@ func TestGHBIndexEviction(t *testing.T) {
 	// More PCs than index entries: must not panic and must still track.
 	for pc := uint32(0); pc < 10; pc++ {
 		for i := 0; i < 5; i++ {
-			g.Observe(access(pc, uint64(pc)<<20|uint64(i*64), true))
+			g.Observe(access(pc, uint64(pc)<<20|uint64(i*64), true), nil)
 		}
 	}
 }

@@ -1,0 +1,212 @@
+// Package progcache builds workload trace programs through a two-level
+// cache: an in-process LRU of materialized programs (experiments share one
+// build across all their configurations and parallel workers) and an
+// on-disk store of binary-encoded traces (builds survive across processes,
+// so repeated benchmark and experiment runs skip trace generation
+// entirely).
+//
+// The disk location is chosen as follows:
+//
+//   - IMP_TRACE_CACHE=<dir> stores traces under <dir>;
+//   - IMP_TRACE_CACHE=off (or "0") disables the disk layer;
+//   - unset: <user cache dir>/impsim/traces, falling back to
+//     <temp dir>/impsim-traces when no user cache dir exists.
+//
+// Cache keys cover the workload name, every Options field and the trace
+// format + generator versions, so a format or generator bump invalidates
+// old entries implicitly. Files are written via temp-file-and-rename, so
+// concurrent processes never observe partial traces; a corrupted file
+// (checksum mismatch) is rebuilt and overwritten. Cached programs are
+// shared: callers must treat them as read-only, as with any built Program.
+package progcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/impsim/imp/internal/trace"
+	"github.com/impsim/imp/internal/workload"
+)
+
+// EnvDir is the environment variable overriding the disk cache directory.
+const EnvDir = "IMP_TRACE_CACHE"
+
+// maxMemEntries bounds the in-process program cache. Programs are large
+// (tens of MB at full scale); 32 comfortably covers a full experiment
+// sweep (8 workloads × plain/software-prefetch) with headroom.
+const maxMemEntries = 32
+
+// Stats counts cache outcomes since process start (or the last Flush).
+type Stats struct {
+	MemHits   uint64
+	DiskHits  uint64
+	Builds    uint64
+	DiskSkips uint64 // disk layer disabled or unusable
+}
+
+type entry struct {
+	once    sync.Once
+	p       *trace.Program
+	err     error
+	done    bool
+	lastUse uint64
+}
+
+var (
+	mu      sync.Mutex
+	entries = map[string]*entry{}
+	useTick uint64
+	stats   Stats
+)
+
+// Get returns the trace program for (name, opt), building it at most once
+// per process and persisting builds to the disk cache.
+func Get(name string, opt workload.Options) (*trace.Program, error) {
+	opt = opt.WithDefaults()
+	key := cacheKey(name, opt)
+
+	mu.Lock()
+	e, ok := entries[key]
+	if !ok {
+		e = &entry{}
+		entries[key] = e
+		evictLocked()
+	} else {
+		stats.MemHits++
+	}
+	useTick++
+	e.lastUse = useTick
+	mu.Unlock()
+
+	e.once.Do(func() {
+		defer func() {
+			// A panicking generator must be recorded as the entry's error:
+			// sync.Once would otherwise mark the entry complete with
+			// p=nil, err=nil and every caller sharing it would nil-deref.
+			if rec := recover(); rec != nil {
+				e.err = fmt.Errorf("building %s trace: panic: %v", name, rec)
+			}
+			mu.Lock()
+			e.done = true
+			mu.Unlock()
+		}()
+		e.p, e.err = load(name, opt, key)
+	})
+	return e.p, e.err
+}
+
+// load resolves one cache miss: disk first, then a real build (persisted
+// best-effort).
+func load(name string, opt workload.Options, key string) (*trace.Program, error) {
+	dir, enabled := cacheDir()
+	if !enabled {
+		mu.Lock()
+		stats.DiskSkips++
+		mu.Unlock()
+		p, err := workload.Build(name, opt)
+		if err == nil {
+			countBuild()
+		}
+		return p, err
+	}
+	path := filepath.Join(dir, key+".imptrace")
+	if f, err := os.Open(path); err == nil {
+		p, derr := trace.ReadProgram(f)
+		f.Close()
+		if derr == nil {
+			mu.Lock()
+			stats.DiskHits++
+			mu.Unlock()
+			return p, nil
+		}
+		// Corrupt or unreadable: rebuild and overwrite below.
+	}
+	p, err := workload.Build(name, opt)
+	if err != nil {
+		return nil, err
+	}
+	countBuild()
+	if mkErr := os.MkdirAll(dir, 0o755); mkErr == nil {
+		// Best-effort persist; a full disk must not fail the experiment.
+		_ = p.WriteFile(path)
+	}
+	return p, nil
+}
+
+func countBuild() {
+	mu.Lock()
+	stats.Builds++
+	mu.Unlock()
+}
+
+// evictLocked drops least-recently-used completed entries beyond the cap.
+// In-flight builds are never evicted. Callers hold mu.
+func evictLocked() {
+	for len(entries) > maxMemEntries {
+		victimKey := ""
+		var victimUse uint64
+		for k, e := range entries {
+			if !e.done {
+				continue
+			}
+			if victimKey == "" || e.lastUse < victimUse {
+				victimKey, victimUse = k, e.lastUse
+			}
+		}
+		if victimKey == "" {
+			return // everything in flight; stay over cap briefly
+		}
+		delete(entries, victimKey)
+	}
+}
+
+// cacheKey derives the content key for one build. Every Options field
+// participates, as do the trace format and generator versions.
+func cacheKey(name string, opt workload.Options) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"imptrace|fmt%d|gen%d|%s|cores%d|scale%.17g|sw%v|dist%d|seed%d",
+		trace.FormatVersion, workload.GenVersion,
+		name, opt.Cores, opt.Scale, opt.SoftwarePrefetch, opt.SWDistance, opt.Seed)))
+	return hex.EncodeToString(h[:12])
+}
+
+// cacheDir resolves the disk cache directory; enabled is false when the
+// disk layer is turned off.
+func cacheDir() (dir string, enabled bool) {
+	switch v := os.Getenv(EnvDir); v {
+	case "":
+		if base, err := os.UserCacheDir(); err == nil {
+			return filepath.Join(base, "impsim", "traces"), true
+		}
+		return filepath.Join(os.TempDir(), "impsim-traces"), true
+	case "off", "OFF", "0", "false", "no":
+		return "", false
+	default:
+		return v, true
+	}
+}
+
+// Dir reports the resolved disk cache directory; ok is false when the disk
+// layer is disabled via IMP_TRACE_CACHE.
+func Dir() (dir string, ok bool) { return cacheDir() }
+
+// GetStats returns a snapshot of the cache counters.
+func GetStats() Stats {
+	mu.Lock()
+	defer mu.Unlock()
+	return stats
+}
+
+// Flush empties the in-process cache and resets counters (the disk layer
+// is untouched). Intended for tests.
+func Flush() {
+	mu.Lock()
+	defer mu.Unlock()
+	entries = map[string]*entry{}
+	stats = Stats{}
+	useTick = 0
+}

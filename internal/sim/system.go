@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"github.com/impsim/imp/internal/cache"
@@ -26,8 +25,11 @@ type tile struct {
 	pf      prefetch.Prefetcher
 	imp     *core.IMP // non-nil when pf is IMP
 	pipe    *cpu.Pipeline
+	stream  trace.RecordStream
+	memr    *mem.CachedReader // per-tile value taps (region-cached reads)
 	time    int64
-	pos     int // next trace record
+	pos     int // records consumed from stream (stream cursor position)
+	winOff  int // records of the current window processed, incl. the current one
 	instr   uint64
 	done    bool
 	waiting bool // parked at a barrier
@@ -37,7 +39,7 @@ type tile struct {
 	// prefetches cannot evict hot lines before their data exists.
 	inflight  []inflightPF
 	arrival   int64 // barrier arrival time
-	perfAhead int   // perfect-prefetch lookahead cursor
+	perfAhead int   // perfect-prefetch lookahead cursor (absolute records)
 }
 
 // inflightPF is one outstanding prefetch.
@@ -86,37 +88,31 @@ func (t *tile) coversInflight(line uint64, mask cache.SectorMask) (int64, bool) 
 	return 0, false
 }
 
-// tileHeap orders runnable tiles by local time (ties by id for determinism).
-type tileHeap []*tile
-
-func (h tileHeap) Len() int { return len(h) }
-func (h tileHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].id < h[j].id
-}
-func (h tileHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *tileHeap) Push(x interface{}) { *h = append(*h, x.(*tile)) }
-func (h *tileHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
-	return t
-}
-
 type system struct {
 	cfg   Config
-	prog  *trace.Program
-	mesh  *noc.Mesh
-	mem   dram.Model
-	mcOf  []int // mc index -> tile id
-	l2    []*cache.Cache
-	dir   []*coherence.Directory
-	tiles []*tile
-	h     tileHeap
-	met   Metrics
+	src   trace.Source
+	space *mem.Space
+	spin  bool
+	// valueTap is set when the prefetcher consumes loaded values (IMP's
+	// index taps); the stream and GHB prefetchers never read Access.Value,
+	// so the memory-image read is skipped for them.
+	valueTap bool
+	mesh     *noc.Mesh
+	mem      dram.Model
+	mcOf     []int // mc index -> tile id
+	l2       []*cache.Cache
+	dir      []*coherence.Directory
+	tiles    []*tile
+	h        []*tile // typed min-heap on (time, id)
+	met      Metrics
+
+	// Per-access scratch buffers, reused across the whole run: the tick
+	// loop is single-threaded per system, and per-access slice allocations
+	// dominated the simulator's profile before these existed.
+	reqScratch   []prefetch.Request
+	complScratch []int64
+
+	streamErr error // first record-stream decode failure
 
 	// barrier state
 	arrivedCount int
@@ -125,29 +121,43 @@ type system struct {
 
 // Run replays prog on the system described by cfg and returns the metrics.
 func Run(prog *trace.Program, cfg Config) (*Metrics, error) {
+	return RunSource(prog.Source(), cfg)
+}
+
+// RunSource replays a trace source on the system described by cfg. With a
+// streaming source (trace.FileSource) the per-core records are decoded on
+// the fly inside a bounded lookahead window, so replay memory does not
+// scale with trace length.
+func RunSource(src trace.Source, cfg Config) (*Metrics, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if prog.Cores() != cfg.Cores {
-		return nil, fmt.Errorf("sim: program traced for %d cores, config has %d", prog.Cores(), cfg.Cores)
+	if src.Cores() != cfg.Cores {
+		return nil, fmt.Errorf("sim: program traced for %d cores, config has %d", src.Cores(), cfg.Cores)
 	}
-	if err := prog.Validate(); err != nil {
+	if err := src.Validate(); err != nil {
 		return nil, err
 	}
-	s := build(prog, cfg)
+	s := build(src, cfg)
 	s.run()
+	if s.streamErr != nil {
+		return nil, fmt.Errorf("sim: record stream: %w", s.streamErr)
+	}
 	return s.collect(), nil
 }
 
-func build(prog *trace.Program, cfg Config) *system {
+func build(src trace.Source, cfg Config) *system {
 	n := cfg.Cores
 	s := &system{
-		cfg:  cfg,
-		prog: prog,
-		mesh: cfg.buildNoC(),
-		mem:  cfg.buildDRAM(),
-		l2:   make([]*cache.Cache, n),
-		dir:  make([]*coherence.Directory, n),
+		cfg:   cfg,
+		src:   src,
+		space: src.Memory(),
+		spin:  src.SpinBarrierWait(),
+		mesh:  cfg.buildNoC(),
+		mem:   cfg.buildDRAM(),
+		l2:    make([]*cache.Cache, n),
+		dir:   make([]*coherence.Directory, n),
+		tiles: make([]*tile, 0, n),
 	}
 	s.mcOf = noc.DiamondMCTiles(s.mesh.Config().Dim, cfg.numMCs())
 	l2cfg := cache.Config{SizeBytes: cfg.l2SliceBytes(), Ways: cfg.L2Ways, SectorBytes: cfg.l2SectorBytes()}
@@ -156,9 +166,12 @@ func build(prog *trace.Program, cfg Config) *system {
 		s.l2[i] = cache.New(l2cfg)
 		s.dir[i] = coherence.New(ackwiseK, n)
 		t := &tile{
-			id:   i,
-			l1:   cache.New(l1cfg),
-			pipe: cpu.New(cfg.CoreModel, cfg.OoOWindow),
+			id:       i,
+			l1:       cache.New(l1cfg),
+			pipe:     cpu.New(cfg.CoreModel, cfg.OoOWindow),
+			stream:   src.Open(i),
+			memr:     mem.NewCachedReader(s.space),
+			inflight: make([]inflightPF, 0, cfg.MaxOutstandingPrefetches),
 		}
 		switch cfg.Prefetcher {
 		case PrefetchStream:
@@ -173,62 +186,104 @@ func build(prog *trace.Program, cfg Config) *system {
 		case PrefetchIMP:
 			p := cfg.IMP
 			p.Partial = cfg.Partial != PartialOff
-			t.imp = core.New(p, prog.Space)
+			t.imp = core.New(p, mem.NewCachedReader(s.space))
 			t.pf = t.imp
+			s.valueTap = true
 		}
 		s.tiles = append(s.tiles, t)
 	}
 	return s
 }
 
-// chainedPrefetcher merges the requests of two prefetchers.
+// chainedPrefetcher merges the requests of two prefetchers. Both append
+// into the shared request slice, so Parent indices (absolute positions in
+// the full slice per the Prefetcher contract) need no rebasing.
 type chainedPrefetcher struct {
 	a, b prefetch.Prefetcher
 }
 
 func (c *chainedPrefetcher) Name() string { return c.a.Name() + "+" + c.b.Name() }
-func (c *chainedPrefetcher) Observe(acc prefetch.Access) []prefetch.Request {
-	ra := c.a.Observe(acc)
-	rb := c.b.Observe(acc)
-	if len(rb) == 0 {
-		return ra
+func (c *chainedPrefetcher) Observe(acc prefetch.Access, reqs []prefetch.Request) []prefetch.Request {
+	reqs = c.a.Observe(acc, reqs)
+	return c.b.Observe(acc, reqs)
+}
+
+// Typed min-heap on (time, id). The standard container/heap would box every
+// push and pop through interface{} method calls on the hot loop; the order
+// produced is identical because (time, id) is a strict total order.
+
+func (s *system) heapLess(a, b *tile) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	// Re-base parent links of the second batch.
-	out := append([]prefetch.Request{}, ra...)
-	for _, r := range rb {
-		if r.Parent >= 0 {
-			r.Parent += len(ra)
+	return a.id < b.id
+}
+
+func (s *system) heapPush(t *tile) {
+	s.h = append(s.h, t)
+	i := len(s.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapLess(s.h[i], s.h[parent]) {
+			break
 		}
-		out = append(out, r)
+		s.h[i], s.h[parent] = s.h[parent], s.h[i]
+		i = parent
 	}
-	return out
+}
+
+func (s *system) heapPop() *tile {
+	h := s.h
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	s.h = h[:n]
+	h = s.h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && s.heapLess(h[r], h[l]) {
+			least = r
+		}
+		if !s.heapLess(h[least], h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	return top
 }
 
 func (s *system) run() {
-	s.h = make(tileHeap, 0, len(s.tiles))
+	s.h = make([]*tile, 0, len(s.tiles))
 	for _, t := range s.tiles {
-		heap.Push(&s.h, t)
+		s.heapPush(t)
 	}
-	for s.h.Len() > 0 {
-		t := heap.Pop(&s.h).(*tile)
+	for len(s.h) > 0 {
+		t := s.heapPop()
 		s.step(t)
 		if !t.done && !t.waiting {
-			heap.Push(&s.h, t)
+			s.heapPush(t)
 		}
 	}
 }
 
-// step advances one tile until a miss, barrier, or batch limit.
+// step advances one tile until a miss, barrier, or batch limit. Records are
+// pulled in windows of batchRecords so the stream pays one interface call
+// per batch, not per record.
 func (s *system) step(t *tile) {
-	recs := s.prog.Traces[t.id].Records
-	for n := 0; n < batchRecords; n++ {
-		if t.pos >= len(recs) {
-			t.time = t.pipe.Drain(t.time)
-			t.done = true
-			return
-		}
-		r := recs[t.pos]
-		t.pos++
+	win := t.stream.Window(batchRecords)
+	if len(win) == 0 {
+		s.finishTile(t)
+		return
+	}
+	for i, r := range win {
+		t.winOff = i + 1
 		if r.Gap > 0 {
 			t.time += int64(r.Gap)
 			t.instr += uint64(r.Gap)
@@ -237,6 +292,7 @@ func (s *system) step(t *tile) {
 		case r.IsGapOnly():
 			continue
 		case r.IsBarrier():
+			t.consume(i + 1)
 			s.arriveBarrier(t)
 			return
 		case r.IsSWPrefetch():
@@ -248,10 +304,33 @@ func (s *system) step(t *tile) {
 			continue
 		default:
 			if s.demandAccess(t, r) {
+				t.consume(i + 1)
 				return // shared-resource activity: re-enter in global order
 			}
 		}
 	}
+	t.consume(len(win))
+	if len(win) < batchRecords {
+		// Window runs short only at the end of the stream: retire the tile
+		// now so its drained time is visible to coherence traffic at once.
+		s.finishTile(t)
+	}
+}
+
+// consume advances the record stream past n processed records.
+func (t *tile) consume(n int) {
+	t.stream.Advance(n)
+	t.pos += n
+	t.winOff = 0
+}
+
+// finishTile drains the pipeline and retires a tile whose trace ended.
+func (s *system) finishTile(t *tile) {
+	if err := t.stream.Err(); err != nil && s.streamErr == nil {
+		s.streamErr = fmt.Errorf("core %d: %w", t.id, err)
+	}
+	t.time = t.pipe.Drain(t.time)
+	t.done = true
 }
 
 // demandAccess plays one load/store; it returns true when the access missed
@@ -353,33 +432,39 @@ func (s *system) observePrefetcher(t *tile, r trace.Record, miss bool, when int6
 	a := prefetch.Access{
 		PC: r.PC, Addr: r.Addr, Size: int(r.Size), Store: r.IsStore(), Miss: miss,
 	}
-	if !r.IsStore() {
-		a.Value = s.prog.Space.ReadWord(r.Addr)
+	if s.valueTap && !r.IsStore() {
+		a.Value = t.memr.ReadWord(r.Addr)
 	}
-	reqs := t.pf.Observe(a)
-	if len(reqs) == 0 {
-		return
-	}
-	completions := make([]int64, len(reqs))
+	reqs := t.pf.Observe(a, s.reqScratch[:0])
+	completions := s.complScratch[:0]
 	for i, rq := range reqs {
 		start := when
 		if rq.Parent >= 0 && rq.Parent < i {
 			start = completions[rq.Parent]
 		}
-		completions[i] = s.issuePrefetch(t, start, rq)
+		completions = append(completions, s.issuePrefetch(t, start, rq))
 	}
+	// Keep any growth of the scratch buffers for the next access.
+	s.reqScratch = reqs[:0]
+	s.complScratch = completions[:0]
 }
 
 // perfectLookahead keeps each core's own future lines prefetched
-// PerfectDistance accesses ahead (the PerfPref configuration).
+// PerfectDistance accesses ahead (the PerfPref configuration). The cursor
+// counts absolute records; the stream is still positioned at t.pos, so the
+// current record sits t.winOff places into the window.
 func (s *system) perfectLookahead(t *tile, now int64) {
-	recs := s.prog.Traces[t.id].Records
-	target := t.pos + s.cfg.PerfectDistance
-	if t.perfAhead < t.pos {
-		t.perfAhead = t.pos
+	cur := t.pos + t.winOff
+	target := cur + s.cfg.PerfectDistance
+	if t.perfAhead < cur {
+		t.perfAhead = cur
 	}
-	for t.perfAhead < target && t.perfAhead < len(recs) {
-		r := recs[t.perfAhead]
+	if t.perfAhead >= target {
+		return
+	}
+	win := t.stream.Window(target - t.pos)
+	for t.perfAhead < target && t.perfAhead-t.pos < len(win) {
+		r := win[t.perfAhead-t.pos]
 		t.perfAhead++
 		if r.IsBarrier() || r.IsGapOnly() || r.IsSWPrefetch() {
 			continue
@@ -700,14 +785,14 @@ func (s *system) arriveBarrier(t *tile) {
 		if !w.waiting {
 			continue
 		}
-		if s.prog.SpinBarriers {
+		if s.spin {
 			spin := release - w.arrival
 			w.instr += uint64(spin)
 			s.met.SpinCycles += spin
 		}
 		w.time = release
 		w.waiting = false
-		heap.Push(&s.h, w)
+		s.heapPush(w)
 	}
 	s.arrivedCount = 0
 	s.maxArrival = 0

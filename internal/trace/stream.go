@@ -1,0 +1,77 @@
+package trace
+
+import "github.com/impsim/imp/internal/mem"
+
+// RecordStream iterates one core's records in order. The simulator replays
+// records strictly forward with a bounded lookahead (the idealized PerfPref
+// configuration peeks a fixed distance ahead), so the interface exposes a
+// cursor with windowed views rather than a per-record Next call — one
+// interface call per replay batch instead of one per record.
+// Implementations need not be safe for concurrent use; the simulator
+// drives each core's stream from a single goroutine.
+type RecordStream interface {
+	// Window returns a read-only view of up to max records starting at the
+	// cursor, without consuming them. It returns fewer than max records
+	// only at the end of the stream (or on a decode error — see Err).
+	// The view stays readable until the next Advance call; a later, larger
+	// Window call does not invalidate it.
+	Window(max int) []Record
+	// Advance consumes n records. n must not exceed the length of the
+	// most recent Window result.
+	Advance(n int)
+	// Err returns the first I/O or decode error encountered, if any.
+	// Streams over in-memory traces always return nil; file-backed streams
+	// report truncation or corruption here after Window comes up short.
+	Err() error
+}
+
+// Source is the simulator's view of a traced program: per-core record
+// sequences plus the address space they reference. A Source may be a fully
+// materialized in-memory Program or a FileSource streaming records from an
+// encoded trace, which bounds replay memory to the lookahead window.
+type Source interface {
+	// Cores returns the number of cores the program was traced for.
+	Cores() int
+	// Memory returns the shared address space (read-only during replay).
+	Memory() *mem.Space
+	// SpinBarrierWait reports whether cores busy-wait at barriers.
+	SpinBarrierWait() bool
+	// Validate checks structural invariants before replay.
+	Validate() error
+	// Open returns a fresh stream over core's records. Each call returns
+	// an independent cursor positioned at the first record.
+	Open(core int) RecordStream
+}
+
+// Source returns the in-memory Source view of p. Multiple simulations may
+// hold sources of the same program concurrently; each Open call returns an
+// independent cursor.
+func (p *Program) Source() Source { return programSource{p} }
+
+type programSource struct{ p *Program }
+
+func (s programSource) Cores() int            { return s.p.Cores() }
+func (s programSource) Memory() *mem.Space    { return s.p.Space }
+func (s programSource) SpinBarrierWait() bool { return s.p.SpinBarriers }
+func (s programSource) Validate() error       { return s.p.Validate() }
+func (s programSource) Open(core int) RecordStream {
+	return &sliceStream{recs: s.p.Traces[core].Records}
+}
+
+// sliceStream streams a materialized record slice; Window is a reslice.
+type sliceStream struct {
+	recs []Record
+	pos  int
+}
+
+func (s *sliceStream) Window(max int) []Record {
+	end := s.pos + max
+	if end > len(s.recs) {
+		end = len(s.recs)
+	}
+	return s.recs[s.pos:end]
+}
+
+func (s *sliceStream) Advance(n int) { s.pos += n }
+
+func (s *sliceStream) Err() error { return nil }

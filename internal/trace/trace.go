@@ -11,6 +11,7 @@ package trace
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/impsim/imp/internal/mem"
 )
@@ -242,12 +243,20 @@ func (b *Builder) Trace() *Trace {
 }
 
 // Program is a set of per-core traces plus the address space they reference.
+// Programs are built once and then shared read-only across concurrent
+// simulations; do not mutate Traces after the first Validate call.
 type Program struct {
 	Space  *mem.Space
 	Traces []*Trace // one per core
 	// SpinBarriers marks that cores busy-wait (consuming instructions) at
 	// barriers instead of sleeping; used by SymGS.
 	SpinBarriers bool
+
+	// Validate scans every record, which is too expensive to repeat for
+	// each of the many simulations sharing one program; the verdict is
+	// cached after the first call.
+	validateOnce sync.Once
+	validateErr  error
 }
 
 // Cores returns the number of cores the program was traced for.
@@ -273,8 +282,14 @@ func (p *Program) TotalAccesses() uint64 {
 
 // Validate checks structural invariants: barrier counts match across cores
 // and every access lands in the mapped address space. It returns the first
-// violation found.
+// violation found. The full scan runs once per program; subsequent calls
+// return the cached verdict.
 func (p *Program) Validate() error {
+	p.validateOnce.Do(func() { p.validateErr = p.validate() })
+	return p.validateErr
+}
+
+func (p *Program) validate() error {
 	if len(p.Traces) == 0 {
 		return fmt.Errorf("trace: program has no cores")
 	}

@@ -32,6 +32,17 @@ type Options struct {
 	Seed int64
 }
 
+// GenVersion identifies the trace-generation logic. It is part of the
+// on-disk trace cache key: bump it whenever any workload generator, the
+// tracer, or input construction changes output for identical Options, or
+// stale cached traces will silently keep serving the old behavior.
+const GenVersion = 1
+
+// WithDefaults returns o with unset fields resolved to their defaults —
+// the canonical form under which two Options describe the same trace
+// (used by the trace cache to key builds).
+func (o Options) WithDefaults() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.Cores <= 0 {
 		o.Cores = 64

@@ -1,0 +1,72 @@
+package imp
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceFileReplayMatchesInMemory pins the binary-trace contract end to
+// end: a workload encoded to disk and replayed through the streaming
+// FileSource path must produce exactly the metrics of the in-memory
+// program, for both a baseline and an IMP configuration.
+func TestTraceFileReplayMatchesInMemory(t *testing.T) {
+	prog, err := BuildProgram("spmv", 4, 0.05, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spmv.imptrace")
+	if err := prog.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{SystemBaseline, SystemIMP, SystemPerfect} {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			direct, err := RunProgram(prog, Config{Cores: 4, System: sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := RunTraceFile(path, Config{System: sys})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if streamed.Cycles != direct.Cycles ||
+				streamed.Instructions != direct.Instructions ||
+				streamed.Coverage != direct.Coverage ||
+				streamed.NoCFlitHops != direct.NoCFlitHops ||
+				streamed.DRAMBytes != direct.DRAMBytes {
+				t.Errorf("streamed replay diverges: %+v vs direct %+v", streamed, direct)
+			}
+		})
+	}
+}
+
+// TestReadProgramFileRoundTrip covers the checked, materializing load path.
+func TestReadProgramFileRoundTrip(t *testing.T) {
+	prog, err := BuildProgram("pagerank", 4, 0.05, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pr.imptrace")
+	if err := prog.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProgramFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Accesses() != prog.Accesses() || back.Instructions() != prog.Instructions() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			back.Accesses(), back.Instructions(), prog.Accesses(), prog.Instructions())
+	}
+	a, err := RunProgram(prog, Config{Cores: 4, System: SystemIMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunProgram(back, Config{Cores: 4, System: SystemIMP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Accuracy != b.Accuracy {
+		t.Errorf("decoded program simulates differently: %d cycles vs %d", b.Cycles, a.Cycles)
+	}
+}
