@@ -1,0 +1,158 @@
+// Package api defines the wire types of the impserve experiment service:
+// job specifications, job statuses and progress events, shared by the
+// server (internal/service) and the HTTP client (client).
+//
+// A job is either an ad-hoc sweep (a list of imp.Configs executed exactly
+// as imp.RunSweep would) or a named paper experiment (executed exactly as
+// imp.Experiments.Run would). Results are a pure function of the job spec:
+// the service content-addresses them by the normalized spec plus the trace
+// format and workload generator versions, so identical submissions are
+// deduplicated and served from cache, and service results are byte-for-byte
+// identical to direct library output at any parallelism.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/impsim/imp"
+)
+
+// JobSpec describes one unit of work. Exactly one of Sweep or Experiment
+// must be set.
+type JobSpec struct {
+	// Sweep lists simulation configs, executed like imp.RunSweep: one
+	// result per config, in config order.
+	Sweep []imp.Config `json:"sweep,omitempty"`
+
+	// Experiment names a paper experiment id ("fig9", "table3", ...),
+	// executed like imp.Experiments.Run; the result is the table JSON.
+	Experiment string `json:"experiment,omitempty"`
+	// Cores, Scale, Workloads and Seed parameterize an experiment job
+	// (imp.ExpOptions); ignored for sweep jobs.
+	Cores     int      `json:"cores,omitempty"`
+	Scale     float64  `json:"scale,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+
+	// Parallelism bounds this job's own workers (<=0: the service default).
+	// It is excluded from the result key: output is byte-identical at any
+	// setting, so jobs differing only here share one cached result.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutSec bounds job execution in seconds (0: the service default).
+	// Excluded from the result key like Parallelism.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// Validate reports whether the spec names exactly one kind of work.
+func (s *JobSpec) Validate() error {
+	switch {
+	case len(s.Sweep) == 0 && s.Experiment == "":
+		return fmt.Errorf("api: job spec names neither sweep configs nor an experiment")
+	case len(s.Sweep) > 0 && s.Experiment != "":
+		return fmt.Errorf("api: job spec names both sweep configs and experiment %q", s.Experiment)
+	case s.TimeoutSec < 0:
+		return fmt.Errorf("api: negative timeout_sec %d", s.TimeoutSec)
+	}
+	for i, cfg := range s.Sweep {
+		if cfg.Workload == "" {
+			return fmt.Errorf("api: sweep config %d has no workload", i)
+		}
+	}
+	return nil
+}
+
+// Normalize resolves defaulted fields to their canonical values, so every
+// spec describing the same work serializes identically (the property the
+// content-addressed result store keys on). It mirrors the defaults imp.Run
+// and imp.ExpOptions apply.
+func (s *JobSpec) Normalize() {
+	for i := range s.Sweep {
+		if s.Sweep[i].Cores <= 0 {
+			s.Sweep[i].Cores = 64
+		}
+		if s.Sweep[i].Scale <= 0 {
+			s.Sweep[i].Scale = 1.0
+		}
+	}
+	if s.Experiment != "" {
+		if s.Cores <= 0 {
+			s.Cores = 64
+		}
+		if s.Scale <= 0 {
+			s.Scale = 1.0
+		}
+	}
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: queued -> running -> one of the three terminal states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	// ID addresses the job in every per-job endpoint.
+	ID string `json:"id"`
+	// Key is the content address of the job's result (spec + trace format
+	// + generator versions); identical work shares a key.
+	Key string `json:"key"`
+	// State is the lifecycle position at snapshot time.
+	State JobState `json:"state"`
+	// Done and Total count completed vs expected simulation points
+	// (Total is 0 until the sweep size is known).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error holds the failure message for StateFailed/StateCanceled.
+	Error string `json:"error,omitempty"`
+	// Deduped marks a submission answered by an existing live job with the
+	// same key; Cached marks one answered from the result store.
+	Deduped bool `json:"deduped,omitempty"`
+	Cached  bool `json:"cached,omitempty"`
+	// Submission/execution timestamps (zero until reached).
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+}
+
+// Event is one NDJSON line of a job's progress stream: one per completed
+// simulation point, then a single terminal event carrying the final state.
+type Event struct {
+	// Seq numbers events from 0 within the job; resume a dropped stream
+	// with ?from=<next seq>.
+	Seq int `json:"seq"`
+	// State is set only on the terminal event ("done"/"failed"/"canceled").
+	State JobState `json:"state,omitempty"`
+	// Workload and System identify the completed point.
+	Workload string `json:"workload,omitempty"`
+	System   string `json:"system,omitempty"`
+	// Point is the point's index in the sweep; Total the sweep size; Done
+	// the number of points finished so far.
+	Point int `json:"point"`
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// Cycles is the point's simulated cycle count (0 on failure).
+	Cycles int64 `json:"cycles,omitempty"`
+	// ElapsedMS is the point's wall-clock simulation time.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+	// Error carries a per-point or terminal failure message.
+	Error string `json:"error,omitempty"`
+}
+
+// SweepResult is the result payload of a sweep job: one entry per config,
+// in config order, exactly as imp.RunSweep returns them.
+type SweepResult struct {
+	Results []*imp.Result `json:"results"`
+}

@@ -1,0 +1,86 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/impsim/imp"
+)
+
+func TestValidateRejectsAmbiguousAndEmpty(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		ok   bool
+	}{
+		{"empty", JobSpec{}, false},
+		{"both", JobSpec{Experiment: "fig2", Sweep: []imp.Config{{Workload: "spmv"}}}, false},
+		{"negative timeout", JobSpec{Experiment: "fig2", TimeoutSec: -1}, false},
+		{"workload-less config", JobSpec{Sweep: []imp.Config{{Cores: 4}}}, false},
+		{"sweep", JobSpec{Sweep: []imp.Config{{Workload: "spmv"}}}, true},
+		{"experiment", JobSpec{Experiment: "fig2"}, true},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+// TestNormalizeMatchesLibraryDefaults: normalized specs must fill exactly
+// the defaults imp.Run / ExpOptions apply, so the result key of a
+// defaulted spec equals that of an explicit one.
+func TestNormalizeMatchesLibraryDefaults(t *testing.T) {
+	s := JobSpec{Sweep: []imp.Config{{Workload: "spmv"}}}
+	s.Normalize()
+	if s.Sweep[0].Cores != 64 || s.Sweep[0].Scale != 1.0 {
+		t.Errorf("sweep defaults: %+v", s.Sweep[0])
+	}
+	e := JobSpec{Experiment: "fig2"}
+	e.Normalize()
+	if e.Cores != 64 || e.Scale != 1.0 {
+		t.Errorf("experiment defaults: cores=%d scale=%g", e.Cores, e.Scale)
+	}
+	// Sweep jobs must not inherit experiment-level defaults.
+	if s.Cores != 0 || s.Scale != 0 {
+		t.Errorf("sweep spec grew experiment defaults: %+v", s)
+	}
+}
+
+// TestJobSpecJSONRoundTrip: the wire format round-trips, with System as a
+// stable name.
+func TestJobSpecJSONRoundTrip(t *testing.T) {
+	spec := JobSpec{
+		Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 16, Scale: 0.5, System: imp.SystemIMPPartial, Seed: 7},
+		},
+		Parallelism: 3,
+		TimeoutSec:  60,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `"System":"imp+partial"`; !strings.Contains(string(data), want) {
+		t.Fatalf("wire form lacks %s: %s", want, data)
+	}
+	var back JobSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sweep[0] != spec.Sweep[0] || back.Parallelism != 3 || back.TimeoutSec != 60 {
+		t.Errorf("round trip changed spec: %+v", back)
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, want := range map[JobState]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCanceled: true,
+	} {
+		if state.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v", state, !want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package client is the Go client for the impserve experiment service
+// (cmd/impserve): submit sweep or experiment jobs, stream NDJSON progress,
+// and fetch content-addressed results that are byte-identical to direct
+// imp.RunSweep / imp.Experiments.Run output.
+//
+//	c := client.New("http://localhost:8080", nil)
+//	st, res, err := c.Run(ctx, api.JobSpec{Sweep: cfgs}, func(e api.Event) {
+//	    log.Printf("[%d/%d] %s/%s", e.Done, e.Total, e.Workload, e.System)
+//	})
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+)
+
+// Client talks to one impserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the service at base (e.g. "http://host:8080").
+// httpClient may be nil for http.DefaultClient; streaming requests rely on
+// the client applying no overall timeout (use per-call contexts instead).
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Submit sends spec; the returned status carries the job id, its result
+// key, and whether it was deduplicated against a live job or answered from
+// the result cache.
+func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	var st api.JobStatus
+	err = c.doJSON(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// Status fetches the job's current status.
+func (c *Client) Status(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st)
+	return st, err
+}
+
+// Jobs lists the service's retained jobs.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.doJSON(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st)
+	return st, err
+}
+
+// Result fetches the job's canonical result bytes (an api.SweepResult or
+// imp.Table JSON document). It fails while the job is still running.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// SweepResult fetches and decodes a sweep job's results, one per config in
+// config order, exactly as imp.RunSweep would have returned them.
+func (c *Client) SweepResult(ctx context.Context, id string) ([]*imp.Result, error) {
+	data, err := c.Result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var sr api.SweepResult
+	if err := json.Unmarshal(data, &sr); err != nil {
+		return nil, fmt.Errorf("client: decoding sweep result: %w", err)
+	}
+	return sr.Results, nil
+}
+
+// TableResult fetches and decodes an experiment job's result table.
+func (c *Client) TableResult(ctx context.Context, id string) (*imp.Table, error) {
+	data, err := c.Result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	var tbl imp.Table
+	if err := json.Unmarshal(data, &tbl); err != nil {
+		return nil, fmt.Errorf("client: decoding result table: %w", err)
+	}
+	return &tbl, nil
+}
+
+// Stream follows the job's NDJSON progress stream from seq, invoking
+// onEvent per event (including the terminal one), and returns once the
+// terminal event arrives. onEvent may be nil to just wait for completion.
+func (c *Client) Stream(ctx context.Context, id string, seq int, onEvent func(api.Event)) error {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/events?from=" + strconv.Itoa(seq)
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return responseError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("client: decoding event: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if ev.State.Terminal() {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: event stream: %w", err)
+	}
+	return fmt.Errorf("client: event stream ended before the terminal event")
+}
+
+// Run is the submit-and-wait convenience: it submits spec, streams progress
+// until the job finishes (cached results return immediately), and fetches
+// the result bytes. A failed or canceled job returns the final status and
+// an error.
+func (c *Client) Run(ctx context.Context, spec api.JobSpec, onEvent func(api.Event)) (api.JobStatus, []byte, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return st, nil, err
+	}
+	if !st.State.Terminal() {
+		if err := c.Stream(ctx, st.ID, 0, onEvent); err != nil {
+			return st, nil, err
+		}
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		return st, nil, err
+	}
+	if final.State != api.StateDone {
+		return final, nil, fmt.Errorf("client: job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	data, err := c.Result(ctx, final.ID)
+	return final, data, err
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return responseError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseError surfaces the service's {"error": ...} payload.
+func responseError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(data))
+}

@@ -1,0 +1,103 @@
+package client
+
+// Unit tests for the client's error surface against stub servers. The
+// happy paths run end to end against the real service in
+// internal/service's tests; here the concern is how the client reports
+// misbehaving or unreachable servers.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/impsim/imp/api"
+)
+
+func stub(t *testing.T, h http.HandlerFunc) *Client {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return New(srv.URL, srv.Client())
+}
+
+func TestErrorPayloadSurfaced(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusConflict)
+		w.Write([]byte(`{"error": "job not finished: running"}`))
+	})
+	_, err := c.Result(context.Background(), "j-000001")
+	if err == nil || !strings.Contains(err.Error(), "job not finished") {
+		t.Fatalf("service error payload lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "409") {
+		t.Errorf("status code lost: %v", err)
+	}
+}
+
+func TestNonJSONErrorBodySurfaced(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "proxy says no", http.StatusBadGateway)
+	})
+	_, err := c.Status(context.Background(), "j-000001")
+	if err == nil || !strings.Contains(err.Error(), "proxy says no") {
+		t.Fatalf("plain error body lost: %v", err)
+	}
+}
+
+func TestStreamEndingWithoutTerminalEventErrors(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"seq":0,"workload":"spmv","total":2,"done":1}` + "\n"))
+		// Connection ends with the job still running.
+	})
+	err := c.Stream(context.Background(), "j-000001", 0, nil)
+	if err == nil || !strings.Contains(err.Error(), "before the terminal event") {
+		t.Fatalf("truncated stream not reported: %v", err)
+	}
+}
+
+func TestStreamGarbageLineErrors(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json\n"))
+	})
+	err := c.Stream(context.Background(), "j-000001", 0, nil)
+	if err == nil || !strings.Contains(err.Error(), "decoding event") {
+		t.Fatalf("garbage event line not reported: %v", err)
+	}
+}
+
+func TestRunReportsFailedJob(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			w.Write([]byte(`{"id":"j-000001","key":"k","state":"queued"}`))
+		case strings.HasSuffix(r.URL.Path, "/events"):
+			w.Write([]byte(`{"seq":0,"state":"failed","error":"boom"}` + "\n"))
+		default: // final status fetch
+			w.Write([]byte(`{"id":"j-000001","key":"k","state":"failed","error":"boom"}`))
+		}
+	})
+	_, _, err := c.Run(context.Background(), api.JobSpec{Experiment: "fig2"}, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("failed job error lost: %v", err)
+	}
+}
+
+func TestContextCancelsStream(t *testing.T) {
+	blocked := make(chan struct{})
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-blocked // hold the stream open until the test finishes
+	})
+	t.Cleanup(func() { close(blocked) })
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Stream(ctx, "j-000001", 0, nil) }()
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled stream returned nil")
+	}
+}

@@ -1,0 +1,100 @@
+// Command impserve runs the IMP experiment service: an HTTP API that
+// accepts sweep and experiment jobs, executes them on the shared harness
+// with a bounded queue and a service-wide simulation cap, caches results by
+// content key, and streams NDJSON progress.
+//
+// Usage:
+//
+//	impserve -addr :8080 -j 8 -executors 2 -queue 64
+//
+// Submit and follow a job:
+//
+//	curl -s localhost:8080/v1/jobs -d '{"sweep":[{"Workload":"spmv","Cores":16,"System":"imp"}]}'
+//	curl -s localhost:8080/v1/jobs/j-000001/events
+//	curl -s localhost:8080/v1/jobs/j-000001/result
+//
+// The process drains gracefully on SIGINT/SIGTERM: the listener stops, and
+// running jobs get -drain to finish before being canceled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/impsim/imp/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		queue     = fs.Int("queue", 64, "bounded job queue depth (submissions beyond it get 503)")
+		executors = fs.Int("executors", 2, "max concurrently running jobs")
+		parallel  = fs.Int("j", 0, "total in-flight simulations across all jobs (0 = all CPUs)")
+		timeout   = fs.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
+		results   = fs.Int("results", 256, "result cache entries (content-addressed)")
+		drain     = fs.Duration("drain", 30*time.Second, "shutdown grace before running jobs are canceled")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		QueueDepth:   *queue,
+		Executors:    *executors,
+		Parallelism:  *parallel,
+		JobTimeout:   *timeout,
+		StoreEntries: *results,
+	})
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "impserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "impserve: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "impserve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop the listener, finish in-flight requests, then
+	// let running jobs complete within the grace period before canceling.
+	fmt.Fprintln(stdout, "impserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(stderr, "impserve: http shutdown:", err)
+	}
+	if err := svc.Close(shutCtx); err != nil {
+		fmt.Fprintln(stderr, "impserve: job drain:", err)
+	}
+	fmt.Fprintln(stdout, "impserve: bye")
+	return 0
+}

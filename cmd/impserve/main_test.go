@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the test read server output while run() writes it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-addr") {
+		t.Error("help output missing flags")
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestBadAddrExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &out, &errb); code != 1 {
+		t.Fatalf("bad addr exited %d, want 1", code)
+	}
+}
+
+// TestServeAndGracefulShutdown boots the server on an ephemeral port, hits
+// the API end to end, then cancels the context and expects a clean exit.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out lockedBuffer
+	var errb lockedBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-addr", "127.0.0.1:0", "-j", "2"}, &out, &errb)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("server never reported its address; stderr: %s", errb.String())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get("/v1/workloads"); code != 200 || !strings.Contains(body, "pagerank") {
+		t.Fatalf("workloads: %d %q", code, body)
+	}
+
+	// Run one tiny job end to end through the real binary surface.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"sweep":[{"Workload":"spmv","Cores":4,"Scale":0.05,"System":"imp"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	idRe := regexp.MustCompile(`"id":\s*"(j-\d+)"`)
+	m := idRe.FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("no job id in %s", body)
+	}
+	// The events stream blocks until the job finishes.
+	if code, evs := get("/v1/jobs/" + m[1] + "/events"); code != 200 || !strings.Contains(evs, `"state":"done"`) {
+		t.Fatalf("events: %d %q", code, evs)
+	}
+	if code, res := get("/v1/jobs/" + m[1] + "/result"); code != 200 || !strings.Contains(res, `"Cycles"`) {
+		t.Fatalf("result: %d %q", code, res)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(out.String(), "bye") {
+		t.Errorf("missing shutdown message; stdout: %s", out.String())
+	}
+}

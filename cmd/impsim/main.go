@@ -26,18 +26,6 @@ import (
 	"github.com/impsim/imp"
 )
 
-var systems = map[string]imp.System{
-	"base":            imp.SystemBaseline,
-	"imp":             imp.SystemIMP,
-	"imp+partial-noc": imp.SystemIMPPartialNoC,
-	"imp+partial":     imp.SystemIMPPartial,
-	"swpref":          imp.SystemSWPrefetch,
-	"perfpref":        imp.SystemPerfect,
-	"ideal":           imp.SystemIdeal,
-	"ghb":             imp.SystemGHB,
-	"none":            imp.SystemNone,
-}
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -48,7 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		wl       = fs.String("workload", "pagerank", "workload, or comma-separated list: "+strings.Join(imp.Workloads(), ", "))
 		cores    = fs.Int("cores", 64, "core count (square)")
-		system   = fs.String("system", "imp", "system configuration")
+		system   = fs.String("system", "imp", "system configuration: "+strings.Join(imp.SystemNames(), ", "))
 		scale    = fs.Float64("scale", 1.0, "input size multiplier")
 		ooo      = fs.Bool("ooo", false, "out-of-order cores (32-entry window)")
 		seed     = fs.Int64("seed", 0, "input generation seed (0 = default)")
@@ -75,9 +63,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	sys, ok := systems[*system]
-	if !ok {
-		fmt.Fprintf(stderr, "impsim: unknown system %q\n", *system)
+	sys, err := imp.ParseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(stderr, "impsim:", err)
 		return 2
 	}
 

@@ -34,6 +34,10 @@ type ExpOptions struct {
 	// simulation point. It is never called concurrently with itself, but
 	// events arrive in completion order, which depends on scheduling.
 	OnProgress func(ProgressEvent)
+	// Gate, when non-nil, additionally bounds in-flight simulations across
+	// every sweep sharing the gate (see NewGate); table contents are
+	// unaffected.
+	Gate Gate
 	// Progress, when non-nil, receives one line per completed simulation.
 	// Kept for backward compatibility; prefer OnProgress.
 	Progress func(string)
@@ -165,7 +169,7 @@ func (r *runner) sweep(points []expPoint) ([]*Result, error) {
 	for i, p := range points {
 		meta[i] = sweepMeta{experiment: r.id, workload: p.workload, system: p.cfg.System}
 	}
-	return sweepSim(r.opt.Context, r.opt.Parallelism, meta,
+	return sweepSim(r.opt.Context, r.opt.Parallelism, r.opt.Gate, meta,
 		func(ctx context.Context, i int) (*Result, error) {
 			cfg := points[i].cfg
 			cfg.Cores = r.opt.Cores

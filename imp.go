@@ -21,6 +21,7 @@
 package imp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -72,6 +73,60 @@ var systemNames = map[System]string{
 }
 
 func (s System) String() string { return systemNames[s] }
+
+// SystemNames returns every system configuration name ("base", "imp", ...)
+// in declaration order.
+func SystemNames() []string {
+	out := make([]string, 0, len(systemNames))
+	for s := SystemBaseline; s <= SystemNone; s++ {
+		out = append(out, systemNames[s])
+	}
+	return out
+}
+
+// ParseSystem resolves a system configuration by its paper name, as printed
+// by String ("imp", "base", "imp+partial", ...).
+func ParseSystem(name string) (System, error) {
+	for s, n := range systemNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("imp: unknown system %q (have %v)", name, SystemNames())
+}
+
+// MarshalJSON encodes the system as its stable paper name, so serialized
+// Configs (sweep job specs) survive reordering of the System constants.
+func (s System) MarshalJSON() ([]byte, error) {
+	n, ok := systemNames[s]
+	if !ok {
+		return nil, fmt.Errorf("imp: unknown system %d", s)
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalJSON accepts a system name ("imp") or a legacy numeric value.
+func (s *System) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		v, perr := ParseSystem(name)
+		if perr != nil {
+			return perr
+		}
+		*s = v
+		return nil
+	}
+	var num int
+	if err := json.Unmarshal(data, &num); err != nil {
+		return fmt.Errorf("imp: system must be a name or number: %s", data)
+	}
+	v := System(num)
+	if _, ok := systemNames[v]; !ok {
+		return fmt.Errorf("imp: unknown system %d", num)
+	}
+	*s = v
+	return nil
+}
 
 // Config describes one simulation run.
 type Config struct {

@@ -1,6 +1,7 @@
 package imp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -237,5 +238,79 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if len(lines) == 0 {
 		t.Error("no progress lines")
+	}
+}
+
+// TestSystemJSONRoundTrip pins the serializable-Config contract the
+// experiment service depends on: System marshals as its stable paper name
+// and unmarshals from either a name or a legacy number.
+func TestSystemJSONRoundTrip(t *testing.T) {
+	for s := SystemBaseline; s <= SystemNone; s++ {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + s.String() + `"`; string(data) != want {
+			t.Errorf("System %d marshals as %s, want %s", s, data, want)
+		}
+		var back System
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Errorf("round trip changed %v to %v", s, back)
+		}
+	}
+	var legacy System
+	if err := json.Unmarshal([]byte("1"), &legacy); err != nil || legacy != SystemIMP {
+		t.Errorf("legacy numeric unmarshal: %v, %v", legacy, err)
+	}
+	var bad System
+	if err := json.Unmarshal([]byte(`"warp-drive"`), &bad); err == nil {
+		t.Error("unknown system name unmarshaled successfully")
+	}
+	if err := json.Unmarshal([]byte("99"), &bad); err == nil {
+		t.Error("unknown system number unmarshaled successfully")
+	}
+}
+
+// TestConfigJSONRoundTrip: a full Config survives the wire (the job-spec
+// format of the experiment service).
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := Config{
+		Workload: "spmv", Cores: 16, System: SystemIMPPartial, Scale: 0.5,
+		OutOfOrder: true, Seed: 7, PTEntries: 32, IPDEntries: 8, MaxPrefetchDistance: 4,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Errorf("round trip changed config: %+v vs %+v", back, cfg)
+	}
+}
+
+// TestParseSystemCoversAllNames: every name SystemNames reports parses back
+// to its constant.
+func TestParseSystemCoversAllNames(t *testing.T) {
+	names := SystemNames()
+	if len(names) != 9 {
+		t.Fatalf("SystemNames returned %d names: %v", len(names), names)
+	}
+	for _, n := range names {
+		s, err := ParseSystem(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != n {
+			t.Errorf("ParseSystem(%q) = %v", n, s)
+		}
+	}
+	if _, err := ParseSystem("warp-drive"); err == nil {
+		t.Error("unknown name parsed successfully")
 	}
 }

@@ -42,7 +42,44 @@ type Options struct {
 	// leave it off when deterministic error identity matters more than
 	// wasted work.
 	FailFast bool
+	// Gate, when non-nil, is acquired before each point runs and released
+	// after. Sharing one gate across several concurrent sweeps bounds their
+	// combined in-flight points, on top of each sweep's own Workers bound —
+	// the seam a multi-job service uses to cap total simulation concurrency.
+	// Gating changes only scheduling, never results: collection stays in
+	// point order.
+	Gate Gate
 }
+
+// Gate bounds in-flight work across independent sweeps. Acquire blocks until
+// a slot is free or ctx is done; every successful Acquire must be paired
+// with exactly one Release.
+type Gate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
+// NewGate returns a Gate admitting at most n concurrent holders (n < 1 is
+// treated as 1).
+func NewGate(n int) Gate {
+	if n < 1 {
+		n = 1
+	}
+	return make(chanGate, n)
+}
+
+type chanGate chan struct{}
+
+func (g chanGate) Acquire(ctx context.Context) error {
+	select {
+	case g <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g chanGate) Release() { <-g }
 
 // Event reports one finished (or skipped) point to the progress callback.
 // Events are delivered serially — the callback never runs concurrently with
@@ -155,9 +192,20 @@ func SweepAll[R any](ctx context.Context, points []Point[R], opt Options, onEven
 					emit(i, zero, err, 0)
 					continue
 				}
+				if opt.Gate != nil {
+					if err := opt.Gate.Acquire(ctx); err != nil {
+						errs[i] = err
+						var zero R
+						emit(i, zero, err, 0)
+						continue
+					}
+				}
 				start := time.Now()
 				res, err := runPoint(ctx, points[i])
 				elapsed := time.Since(start)
+				if opt.Gate != nil {
+					opt.Gate.Release()
+				}
 				results[i], errs[i] = res, err
 				if err != nil && opt.FailFast {
 					cancel()

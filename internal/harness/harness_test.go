@@ -207,3 +207,83 @@ func TestSeedFor(t *testing.T) {
 		t.Error("nonzero base produced the zero sentinel")
 	}
 }
+
+// TestSweepSharedGateBoundsAcrossSweeps runs two concurrent sweeps sharing
+// one 2-slot gate and asserts the combined in-flight point count never
+// exceeds the gate size, while results stay correct and ordered.
+func TestSweepSharedGateBoundsAcrossSweeps(t *testing.T) {
+	const gateSize = 2
+	gate := NewGate(gateSize)
+	var inFlight, maxSeen atomic.Int64
+	mkPoints := func(n int) []Point[int] {
+		pts := make([]Point[int], n)
+		for i := range pts {
+			i := i
+			pts[i] = Point[int]{Label: fmt.Sprintf("p%d", i), Run: func(context.Context) (int, error) {
+				cur := inFlight.Add(1)
+				for {
+					m := maxSeen.Load()
+					if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inFlight.Add(-1)
+				return i * i, nil
+			}}
+		}
+		return pts
+	}
+	done := make(chan error, 2)
+	for s := 0; s < 2; s++ {
+		go func() {
+			res, err := Sweep(context.Background(), mkPoints(8),
+				Options{Workers: 4, Gate: gate}, nil)
+			if err == nil {
+				for i, v := range res {
+					if v != i*i {
+						err = fmt.Errorf("res[%d] = %d, want %d", i, v, i*i)
+						break
+					}
+				}
+			}
+			done <- err
+		}()
+	}
+	for s := 0; s < 2; s++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := maxSeen.Load(); m > gateSize {
+		t.Errorf("observed %d concurrent points across sweeps, gate admits %d", m, gateSize)
+	}
+}
+
+// TestSweepGateCancelledWhileWaiting: a point blocked on the gate must be
+// skipped with the cancellation error, not run, once the context dies.
+func TestSweepGateCancelledWhileWaiting(t *testing.T) {
+	gate := NewGate(1)
+	// Occupy the only slot for the duration of the test.
+	if err := gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer gate.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	pts := []Point[int]{{Label: "blocked", Run: func(context.Context) (int, error) {
+		ran.Add(1)
+		return 1, nil
+	}}}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, errs := SweepAll(ctx, pts, Options{Workers: 1, Gate: gate}, nil)
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Fatalf("errs[0] = %v, want context.Canceled", errs[0])
+	}
+	if ran.Load() != 0 {
+		t.Error("gated point ran despite cancellation")
+	}
+}

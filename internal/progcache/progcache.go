@@ -15,9 +15,11 @@
 // Cache keys cover the workload name, every Options field and the trace
 // format + generator versions, so a format or generator bump invalidates
 // old entries implicitly. Files are written via temp-file-and-rename, so
-// concurrent processes never observe partial traces; a corrupted file
-// (checksum mismatch) is rebuilt and overwritten. Cached programs are
-// shared: callers must treat them as read-only, as with any built Program.
+// concurrent processes never observe partial traces; a corrupted or
+// truncated file (size/CRC-32 check failure on read) is evicted on the
+// spot, counted in Stats.Corrupt, and rebuilt — corruption never fails an
+// experiment. Cached programs are shared: callers must treat them as
+// read-only, as with any built Program.
 package progcache
 
 import (
@@ -46,6 +48,10 @@ type Stats struct {
 	DiskHits  uint64
 	Builds    uint64
 	DiskSkips uint64 // disk layer disabled or unusable
+	// Corrupt counts on-disk entries that failed their integrity check
+	// (CRC mismatch, truncation, undecodable content) and were evicted
+	// and rebuilt rather than failing the experiment.
+	Corrupt uint64
 }
 
 type entry struct {
@@ -115,7 +121,7 @@ func load(name string, opt workload.Options, key string) (*trace.Program, error)
 	}
 	path := filepath.Join(dir, key+".imptrace")
 	if f, err := os.Open(path); err == nil {
-		p, derr := trace.ReadProgram(f)
+		p, derr := trace.ReadProgram(f) // verifies size envelope + CRC-32
 		f.Close()
 		if derr == nil {
 			mu.Lock()
@@ -123,7 +129,13 @@ func load(name string, opt workload.Options, key string) (*trace.Program, error)
 			mu.Unlock()
 			return p, nil
 		}
-		// Corrupt or unreadable: rebuild and overwrite below.
+		// Corrupt or truncated entry: evict it immediately so a failed
+		// rebuild (or a crash before the overwrite below lands) cannot
+		// leave the poisoned file to greet the next process, then rebuild.
+		mu.Lock()
+		stats.Corrupt++
+		mu.Unlock()
+		_ = os.Remove(path)
 	}
 	p, err := workload.Build(name, opt)
 	if err != nil {

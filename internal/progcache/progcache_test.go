@@ -202,3 +202,88 @@ func TestConcurrentGetBuildsOnce(t *testing.T) {
 		t.Fatalf("stats: %+v, want exactly one build", st)
 	}
 }
+
+// TestInPlaceCorruptionEvictsAndRebuilds flips bytes inside a cached trace
+// (same length, so only the CRC can catch it) and requires the next Get to
+// detect, evict and rebuild the entry instead of failing — and to leave a
+// valid file behind for the process after that.
+func TestInPlaceCorruptionEvictsAndRebuilds(t *testing.T) {
+	dir := setDir(t)
+	p1, err := Get("spmv", smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d cache files, want 1", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record bytes mid-file without changing the size.
+	for off := len(data) / 2; off < len(data)/2+32 && off < len(data); off++ {
+		data[off] ^= 0xa5
+	}
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	Flush()
+	p2, err := Get("spmv", smallOpt)
+	if err != nil {
+		t.Fatalf("in-place corruption failed the experiment: %v", err)
+	}
+	st := GetStats()
+	if st.Corrupt != 1 || st.Builds != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats after corruption: %+v, want Corrupt=1 Builds=1 DiskHits=0", st)
+	}
+	// The rebuilt program must match the original build record for record.
+	if len(p2.Traces) != len(p1.Traces) {
+		t.Fatalf("rebuild changed core count: %d vs %d", len(p2.Traces), len(p1.Traces))
+	}
+	for c := range p1.Traces {
+		if !reflect.DeepEqual(p2.Traces[c].Records, p1.Traces[c].Records) {
+			t.Fatalf("core %d: rebuilt records differ from original build", c)
+		}
+	}
+	// And the poisoned file must have been replaced with a decodable one.
+	Flush()
+	if _, err := Get("spmv", smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	if st := GetStats(); st.DiskHits != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats after rebuild: %+v, want a clean disk hit", st)
+	}
+}
+
+// TestCorruptionEvictsEvenWhenRebuildCannotPersist: with the cache dir made
+// read-only after corruption, the bad entry is still removed from the Get
+// path's view (best effort) and the build succeeds from scratch.
+func TestCorruptionUnderReadOnlyDirStillBuilds(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory write permissions")
+	}
+	dir := setDir(t)
+	if _, err := Get("dense", smallOpt); err != nil {
+		t.Fatal(err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d cache files", len(files))
+	}
+	if err := os.Truncate(files[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) })
+	Flush()
+	if _, err := Get("dense", smallOpt); err != nil {
+		t.Fatalf("read-only cache dir failed the experiment: %v", err)
+	}
+	if st := GetStats(); st.Corrupt != 1 || st.Builds != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a job spec (202 queued, 200 dedup/cached)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result canonical result bytes (409 until done)
+//	GET    /v1/jobs/{id}/events NDJSON progress stream (?from=<seq> resumes)
+//	POST   /v1/jobs/{id}/cancel request cancellation
+//	GET    /v1/workloads        available workload names
+//	GET    /v1/experiments      available experiment ids
+//	GET    /v1/stats            service counters
+//	GET    /healthz             liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, imp.Workloads())
+	})
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, imp.Experiments.IDs())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// maxSpecBytes bounds submitted spec bodies; a sweep of thousands of
+// configs fits comfortably, an abusive body does not.
+const maxSpecBytes = 1 << 20
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, submitStatus(err), err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.Deduped || st.Cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	data, err := j.Result()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's progress as NDJSON: every past event from
+// ?from= (default 0), then live events as points complete, ending with the
+// terminal event. Each line is one api.Event.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	seq := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		seq, err = strconv.Atoi(v)
+		if err != nil || seq < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q", v))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		evs, terminal, err := j.WaitEvents(r.Context(), seq)
+		if err != nil {
+			return // client went away
+		}
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		seq += len(evs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(evs) == 0 {
+			return
+		}
+		// After delivering a batch containing the terminal event, the next
+		// WaitEvents returns (nil, true, nil) immediately and we exit above.
+		if terminal {
+			for _, ev := range evs {
+				if ev.State.Terminal() {
+					return
+				}
+			}
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,564 @@
+// Package service implements the impserve experiment service: a bounded
+// job queue in front of the imp sweep harness, a content-addressed result
+// store, and an HTTP API (submit / status / result / cancel / NDJSON
+// progress streaming).
+//
+// Design constraints, in order:
+//
+//   - Results are a pure function of the job spec. A job executed by the
+//     service yields bytes identical to direct imp.RunSweep /
+//     imp.Experiments.Run output at any parallelism, so results can be
+//     cached by content key (spec + trace.FormatVersion +
+//     workload.GenVersion) and shared between identical submissions.
+//   - Identical work runs at most once: an in-flight job index deduplicates
+//     concurrent duplicate submissions (singleflight on the result key),
+//     and finished results are served from the store without executing.
+//   - Load is bounded everywhere: the queue depth caps waiting jobs, the
+//     executor count caps running jobs, and one imp.Gate shared across all
+//     jobs caps total in-flight simulations regardless of per-job
+//     parallelism, so a burst of submissions cannot oversubscribe the host.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+)
+
+// Config parameterizes a Service. Zero values select the defaults.
+type Config struct {
+	// QueueDepth bounds jobs waiting to run (default 64). Submissions
+	// beyond it fail with ErrQueueFull rather than queueing unboundedly.
+	QueueDepth int
+	// Executors bounds concurrently running jobs (default 2).
+	Executors int
+	// Parallelism caps total in-flight simulations across all running jobs
+	// (default GOMAXPROCS), enforced by a shared imp.Gate.
+	Parallelism int
+	// JobTimeout bounds one job's execution (default 15m); a spec's
+	// TimeoutSec overrides it per job, still capped by JobTimeout.
+	JobTimeout time.Duration
+	// StoreEntries bounds the result cache (default 256 results).
+	StoreEntries int
+	// MaxJobs bounds retained job records; the oldest finished jobs are
+	// evicted beyond it (default 1024). Their results stay in the store.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 15 * time.Minute
+	}
+	if c.StoreEntries <= 0 {
+		c.StoreEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Sentinel errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 503).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed rejects submissions after Close (HTTP 503).
+	ErrClosed = errors.New("service: shutting down")
+	// ErrUnknownJob reports a job id with no record (HTTP 404).
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrNotFinished reports a result request for an unfinished job
+	// (HTTP 409).
+	ErrNotFinished = errors.New("service: job not finished")
+	// ErrJobFailed reports a result request for a failed or canceled job
+	// (HTTP 409).
+	ErrJobFailed = errors.New("service: job did not produce a result")
+)
+
+// Stats counts service outcomes since start.
+type Stats struct {
+	Submitted uint64 `json:"submitted"`
+	Executed  uint64 `json:"executed"`
+	Deduped   uint64 `json:"deduped"`
+	Cached    uint64 `json:"cached"`
+	StoreHits uint64 `json:"store_hits"`
+	StorePuts uint64 `json:"store_puts"`
+	StoreLen  int    `json:"store_entries"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+}
+
+// Service owns the job queue, the executors and the result store.
+type Service struct {
+	cfg   Config
+	gate  imp.Gate
+	store *store
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int
+	jobs     map[string]*Job
+	order    []string        // submission order, for listing and eviction
+	byKey    map[string]*Job // live singleflight index: queued/running/done
+	queue    chan *Job
+	running  int
+	executed uint64
+	deduped  uint64
+	cached   uint64
+	wg       sync.WaitGroup
+}
+
+// New starts a Service with cfg.Executors executor goroutines. Close it to
+// release them.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		gate:       imp.NewGate(cfg.Parallelism),
+		store:      newStore(cfg.StoreEntries),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		go s.executor()
+	}
+	return s
+}
+
+// Job is one submitted unit of work. All mutable fields are guarded by mu;
+// cond broadcasts on every event append and state change.
+type Job struct {
+	id   string
+	key  string
+	spec api.JobSpec
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	state     api.JobState
+	events    []api.Event
+	done      int
+	total     int
+	result    []byte
+	errMsg    string
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancelRun context.CancelFunc // set while running
+	cancelReq bool
+}
+
+func newJob(id, key string, spec api.JobSpec) *Job {
+	j := &Job{id: id, key: key, spec: spec, state: api.StateQueued, submitted: time.Now()}
+	j.cond = sync.NewCond(&j.mu)
+	if len(spec.Sweep) > 0 {
+		j.total = len(spec.Sweep)
+	}
+	return j
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's normalized specification.
+func (j *Job) Spec() api.JobSpec { return j.spec }
+
+// Status snapshots the job.
+func (j *Job) Status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.JobStatus{
+		ID: j.id, Key: j.key, State: j.state,
+		Done: j.done, Total: j.total,
+		Error: j.errMsg, Cached: j.cached,
+		SubmittedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+	}
+}
+
+// Result returns the job's result bytes once StateDone; before that it
+// fails with ErrNotFinished, and for failed/canceled jobs with ErrJobFailed.
+func (j *Job) Result() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.state == api.StateDone:
+		return j.result, nil
+	case j.state.Terminal():
+		return nil, fmt.Errorf("%w: %s (%s)", ErrJobFailed, j.state, j.errMsg)
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNotFinished, j.state)
+	}
+}
+
+// WaitEvents blocks until events past seq exist or ctx is done, then
+// returns a copy of them. After the terminal event has been returned,
+// subsequent calls return immediately with no events and terminal=true.
+func (j *Job) WaitEvents(ctx context.Context, seq int) (evs []api.Event, terminal bool, err error) {
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for seq >= len(j.events) && !j.state.Terminal() && ctx.Err() == nil {
+		j.cond.Wait()
+	}
+	if seq >= len(j.events) {
+		if j.state.Terminal() {
+			return nil, true, nil
+		}
+		return nil, false, ctx.Err()
+	}
+	evs = append(evs, j.events[seq:]...)
+	return evs, j.state.Terminal(), nil
+}
+
+// addEvent appends one progress event; callers must not hold mu.
+func (j *Job) addEvent(ev api.Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	if ev.Done > j.done {
+		j.done = ev.Done
+	}
+	if ev.Total > j.total {
+		j.total = ev.Total
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// Submit validates, normalizes and keys spec, then answers it from the
+// in-flight index (dedup), the result store (cache) or a fresh queued job.
+func (s *Service) Submit(spec api.JobSpec) (api.JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return api.JobStatus{}, err
+	}
+	spec.Normalize()
+	key, err := ResultKey(spec)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return api.JobStatus{}, ErrClosed
+	}
+	if live, ok := s.byKey[key]; ok {
+		s.deduped++
+		st := live.Status()
+		st.Deduped = true
+		return st, nil
+	}
+	if data, ok := s.store.get(key); ok {
+		s.cached++
+		j := s.newJobLocked(key, spec)
+		now := time.Now()
+		j.state = api.StateDone
+		j.result = data
+		j.cached = true
+		j.started, j.finished = now, now
+		j.events = []api.Event{{State: api.StateDone}}
+		s.registerLocked(j)
+		st := j.Status()
+		st.Cached = true
+		return st, nil
+	}
+	j := s.newJobLocked(key, spec)
+	s.registerLocked(j)
+	s.byKey[key] = j
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		delete(s.byKey, key)
+		s.order = s.order[:len(s.order)-1]
+		return api.JobStatus{}, ErrQueueFull
+	}
+	return j.Status(), nil
+}
+
+func (s *Service) newJobLocked(key string, spec api.JobSpec) *Job {
+	s.nextID++
+	return newJob(fmt.Sprintf("j-%06d", s.nextID), key, spec)
+}
+
+func (s *Service) registerLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Evict the oldest finished jobs beyond the retention cap; their
+	// results survive in the store.
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			old := s.jobs[id]
+			if old == nil || !old.Status().State.Terminal() {
+				continue
+			}
+			delete(s.jobs, id)
+			if s.byKey[old.key] == old {
+				delete(s.byKey, old.key)
+			}
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			break // everything live; stay over cap briefly
+		}
+	}
+}
+
+// Job looks a job up by id.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Jobs snapshots every retained job in submission order.
+func (s *Service) Jobs() []api.JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]api.JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Cancel requests cancellation: a queued job is finished as canceled
+// without running; a running job has its context canceled and finishes as
+// canceled once in-flight points drain. Terminal jobs are left untouched.
+func (s *Service) Cancel(id string) (api.JobStatus, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	j.mu.Lock()
+	j.cancelReq = true
+	cancel := j.cancelRun
+	queued := j.state == api.StateQueued
+	j.mu.Unlock()
+	if queued {
+		// Finish it in place only if it is still queued; if an executor
+		// dequeued it in the meantime, that executor saw cancelReq (set
+		// above, under the same lock it transitions through) and finishes
+		// the job as canceled itself without running it.
+		s.finishJob(j, nil, context.Canceled, true)
+	} else if cancel != nil {
+		cancel()
+	}
+	return j.Status(), nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	hits, puts, entries := s.store.stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted: uint64(s.nextID), Executed: s.executed,
+		Deduped: s.deduped, Cached: s.cached,
+		StoreHits: hits, StorePuts: puts, StoreLen: entries,
+		Queued: len(s.queue), Running: s.running,
+	}
+}
+
+// Close stops accepting work and waits for the queue to drain. If ctx ends
+// first, in-flight jobs are canceled and Close waits for them to unwind.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelBase()
+		<-drained
+	}
+	s.cancelBase()
+	return err
+}
+
+func (s *Service) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Service) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != api.StateQueued { // canceled while waiting
+		j.mu.Unlock()
+		return
+	}
+	if j.cancelReq {
+		// Cancel won the race for the queued job but has not finished it
+		// yet; do it here rather than starting work that is already dead.
+		j.mu.Unlock()
+		s.finishJob(j, nil, context.Canceled, false)
+		return
+	}
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(j.spec.TimeoutSec) * time.Second; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	j.cancelRun = cancel
+	j.state = api.StateRunning
+	j.started = time.Now()
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.running++
+	s.executed++
+	s.mu.Unlock()
+
+	data, err := s.execute(ctx, j)
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.finishJob(j, data, err, false)
+}
+
+// execute runs the job's work through the library entry points, tapping
+// progress into the job's event log and sharing the service-wide gate.
+func (s *Service) execute(ctx context.Context, j *Job) ([]byte, error) {
+	spec := j.spec
+	onProgress := func(e imp.ProgressEvent) {
+		ev := api.Event{
+			Workload: e.Workload, System: e.System.String(),
+			Point: e.Point, Total: e.Total, Done: e.Done,
+			Cycles: e.Cycles, ElapsedMS: e.Elapsed.Milliseconds(),
+		}
+		if e.Err != nil {
+			ev.Error = e.Err.Error()
+		}
+		j.addEvent(ev)
+	}
+	if len(spec.Sweep) > 0 {
+		results, err := imp.RunSweep(ctx, spec.Sweep, imp.SweepOptions{
+			Parallelism: spec.Parallelism, OnProgress: onProgress, Gate: s.gate,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return marshalSweepResult(results)
+	}
+	tbl, err := imp.Experiments.Run(spec.Experiment, imp.ExpOptions{
+		Cores: spec.Cores, Scale: spec.Scale, Workloads: spec.Workloads,
+		Seed: spec.Seed, Parallelism: spec.Parallelism,
+		Context: ctx, OnProgress: onProgress, Gate: s.gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tbl.JSON()
+}
+
+// finishJob records the terminal state, publishes the result, appends the
+// terminal event and retires the singleflight entry for failed/canceled
+// jobs so a resubmission can retry. onlyIfQueued guards the
+// cancel-while-queued path: if an executor already moved the job to
+// running, the transition is abandoned (the executor owns the job's fate —
+// it saw cancelReq and finishes it as canceled itself). Lock order: j.mu
+// and s.mu are never held together — state first, index second.
+func (s *Service) finishJob(j *Job, data []byte, err error, onlyIfQueued bool) {
+	j.mu.Lock()
+	if j.state.Terminal() || (onlyIfQueued && j.state != api.StateQueued) {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = api.StateDone
+		j.result = data
+	case j.cancelReq || errors.Is(err, context.Canceled):
+		j.state = api.StateCanceled
+		j.errMsg = err.Error()
+	default:
+		j.state = api.StateFailed
+		j.errMsg = err.Error()
+	}
+	term := api.Event{Seq: len(j.events), State: j.state, Done: j.done, Total: j.total, Error: j.errMsg}
+	j.events = append(j.events, term)
+	state := j.state
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	if state == api.StateDone {
+		s.store.put(j.key, data)
+		return
+	}
+	s.mu.Lock()
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	s.mu.Unlock()
+}
+
+// marshalSweepResult is the canonical sweep result encoding — indented JSON
+// with Go's stable field order, like Table.JSON — so equal sweeps produce
+// equal bytes. The e2e tests pin it byte-for-byte against direct
+// imp.RunSweep output marshaled the same way.
+func marshalSweepResult(results []*imp.Result) ([]byte, error) {
+	return json.MarshalIndent(api.SweepResult{Results: results}, "", "  ")
+}

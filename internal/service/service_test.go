@@ -1,0 +1,570 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/client"
+)
+
+// testSweepSpec is a small three-point sweep used across tests. Scale 0.05
+// keeps each simulation in the tens of milliseconds.
+func testSweepSpec() api.JobSpec {
+	return api.JobSpec{Sweep: []imp.Config{
+		{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP},
+		{Workload: "pagerank", Cores: 4, Scale: 0.05, System: imp.SystemBaseline},
+		{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemNone},
+	}}
+}
+
+func startService(t *testing.T, cfg Config) (*Service, *client.Client) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+	return svc, client.New(srv.URL, srv.Client())
+}
+
+// TestSubmitStreamResult is the happy path: submit, follow the NDJSON
+// stream to completion, fetch the result, and require it byte-identical to
+// direct imp.RunSweep output — despite the service running at a different
+// parallelism than the direct run.
+func TestSubmitStreamResult(t *testing.T) {
+	_, c := startService(t, Config{Parallelism: 4})
+	ctx := context.Background()
+	spec := testSweepSpec()
+	spec.Parallelism = 2
+
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateQueued && st.State != api.StateRunning {
+		t.Fatalf("fresh submission in state %q", st.State)
+	}
+	if st.Key == "" || st.ID == "" {
+		t.Fatalf("submission missing id/key: %+v", st)
+	}
+
+	var events []api.Event
+	if err := c.Stream(ctx, st.ID, 0, func(e api.Event) { events = append(events, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(spec.Sweep)+1 {
+		t.Fatalf("got %d events, want %d points + terminal", len(events), len(spec.Sweep))
+	}
+	for i, ev := range events[:len(spec.Sweep)] {
+		if ev.Seq != i || ev.Cycles <= 0 || ev.Total != len(spec.Sweep) {
+			t.Errorf("event %d malformed: %+v", i, ev)
+		}
+	}
+	term := events[len(events)-1]
+	if term.State != api.StateDone || term.Done != len(spec.Sweep) {
+		t.Fatalf("terminal event: %+v", term)
+	}
+
+	got, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := marshalSweepResult(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("service result diverges from direct RunSweep output:\n--- service\n%s\n--- direct\n%s", got, want)
+	}
+
+	// The decoded form must round-trip through the client helper too.
+	res, err := c.SweepResult(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[0].Cycles != direct[0].Cycles {
+		t.Errorf("SweepResult decode mismatch: %+v", res)
+	}
+}
+
+// TestConcurrentDuplicateSubmissions is the singleflight guarantee: many
+// clients submitting the same spec concurrently share one execution and all
+// read byte-identical results. Run under -race in CI.
+func TestConcurrentDuplicateSubmissions(t *testing.T) {
+	svc, c := startService(t, Config{Executors: 2})
+	ctx := context.Background()
+	const clients = 8
+
+	var wg sync.WaitGroup
+	results := make([][]byte, clients)
+	ids := make([]string, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, data, err := c.Run(ctx, testSweepSpec(), nil)
+			ids[i], results[i], errs[i] = st.ID, data, err
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if ids[i] != ids[0] {
+			t.Errorf("client %d got job %s, client 0 got %s (dedup failed)", i, ids[i], ids[0])
+		}
+		if !bytes.Equal(results[i], results[0]) {
+			t.Errorf("client %d result differs from client 0", i)
+		}
+	}
+	if st := svc.Stats(); st.Executed != 1 {
+		t.Errorf("%d executions for %d identical submissions, want 1", st.Executed, clients)
+	}
+}
+
+// TestGoldenTableByteIdentity is the acceptance criterion: concurrent
+// clients submit the same experiment job and every returned result is
+// byte-identical to the committed golden table (the same numbers a direct
+// imp.Experiments.Run produces).
+func TestGoldenTableByteIdentity(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden = bytes.TrimSuffix(golden, []byte("\n"))
+
+	_, c := startService(t, Config{Executors: 2})
+	ctx := context.Background()
+	spec := api.JobSpec{Experiment: "fig2", Cores: 4, Scale: 0.05, Workloads: []string{"spmv", "pagerank"}}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, results[i], errs[i] = c.Run(ctx, spec, nil)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], golden) {
+			t.Errorf("client %d result differs from golden table:\n--- service\n%s\n--- golden\n%s", i, results[i], golden)
+		}
+	}
+}
+
+// TestCancelMidSweep cancels a running job after its first progress event
+// and requires a canceled terminal state with no result.
+func TestCancelMidSweep(t *testing.T) {
+	_, c := startService(t, Config{Executors: 1})
+	ctx := context.Background()
+
+	// Enough serial points that the sweep is still in flight after the
+	// first event arrives.
+	var cfgs []imp.Config
+	for i := 0; i < 24; i++ {
+		sys := []imp.System{imp.SystemBaseline, imp.SystemIMP, imp.SystemGHB, imp.SystemNone}[i%4]
+		wl := []string{"spmv", "pagerank"}[i%2]
+		cfgs = append(cfgs, imp.Config{Workload: wl, Cores: 4, Scale: 0.05, System: sys, Seed: int64(i + 1)})
+	}
+	spec := api.JobSpec{Sweep: cfgs, Parallelism: 1}
+
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var canceled bool
+	err = c.Stream(ctx, st.ID, 0, func(e api.Event) {
+		if e.State.Terminal() {
+			canceled = e.State == api.StateCanceled
+			return
+		}
+		if e.Seq == 0 {
+			if _, err := c.Cancel(ctx, st.ID); err != nil {
+				t.Errorf("cancel: %v", err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !canceled {
+		// The sweep may legitimately have finished before the cancel beat
+		// it there — but with 24 serial points that means something broke.
+		t.Fatal("job was not canceled mid-sweep")
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateCanceled || final.Done >= len(cfgs) {
+		t.Fatalf("final status: %+v", final)
+	}
+	if _, err := c.Result(ctx, st.ID); err == nil {
+		t.Fatal("canceled job served a result")
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never left the queue. The single
+// gate slot is held by the test, so the blocker job deterministically pins
+// the lone executor while the second job waits in the queue.
+func TestCancelQueuedJob(t *testing.T) {
+	svc, c := startService(t, Config{Executors: 1, QueueDepth: 4, Parallelism: 1})
+	ctx := context.Background()
+	if err := svc.gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			svc.gate.Release()
+		}
+	}
+	defer release()
+
+	blocker := api.JobSpec{Sweep: []imp.Config{
+		{Workload: "pagerank", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: 100},
+	}}
+	b, err := c.Submit(ctx, blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.Submit(ctx, testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateCanceled {
+		t.Fatalf("queued job after cancel: %+v", st)
+	}
+	// Unblock the blocker and let it finish normally.
+	release()
+	if err := c.Stream(ctx, b.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Status(ctx, b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("blocker: %+v", final)
+	}
+	if got := svc.Stats().Executed; got != 1 {
+		t.Errorf("executed %d jobs, want 1 (canceled queued job must not run)", got)
+	}
+}
+
+// TestQueueFull: submissions beyond the bounded queue get 503, and the
+// failed submission leaves no residue (a retry after drain succeeds). The
+// test holds the single gate slot so the executor is deterministically
+// pinned while the queue fills.
+func TestQueueFull(t *testing.T) {
+	svc, c := startService(t, Config{Executors: 1, QueueDepth: 1, Parallelism: 1})
+	ctx := context.Background()
+	if err := svc.gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			svc.gate.Release()
+		}
+	}
+	defer release()
+
+	mkSpec := func(seed int64) api.JobSpec {
+		return api.JobSpec{
+			Sweep:       []imp.Config{{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: seed}},
+			Parallelism: 1,
+		}
+	}
+	// Job 1 runs (pinned at the gate); wait until the executor has really
+	// dequeued it, then job 2 occupies the depth-1 queue; job 3 must bounce.
+	first, err := c.Submit(ctx, mkSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		st, err := c.Status(ctx, first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("first job never started: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := c.Submit(ctx, mkSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, mkSpec(3))
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("third submission: %v, want queue full", err)
+	}
+	// Drain everything; the service must stay consistent, and the bounced
+	// spec must submit cleanly once there is room again.
+	release()
+	for _, id := range []string{first.ID, second.ID} {
+		if err := c.Stream(ctx, id, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retry, err := c.Submit(ctx, mkSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stream(ctx, retry.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultStoreServesEvictedJob: once the job record is evicted, a
+// resubmission is answered from the content-addressed store without
+// executing anything.
+func TestResultStoreServesEvictedJob(t *testing.T) {
+	svc, c := startService(t, Config{Executors: 1, MaxJobs: 1})
+	ctx := context.Background()
+
+	specA := testSweepSpec()
+	_, resA, err := c.Run(ctx, specA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB := api.JobSpec{Sweep: []imp.Config{
+		{Workload: "pagerank", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: 9},
+	}}
+	if _, _, err := c.Run(ctx, specB, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Job A's record is gone (MaxJobs 1), but its result is cached.
+	st, err := c.Submit(ctx, specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached || st.State != api.StateDone {
+		t.Fatalf("resubmission after eviction: %+v", st)
+	}
+	got, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, resA) {
+		t.Error("cached result differs from the originally computed result")
+	}
+	if stats := svc.Stats(); stats.Executed != 2 || stats.StoreHits == 0 {
+		t.Errorf("stats after cache hit: %+v", stats)
+	}
+}
+
+// TestEventsReplayAfterCompletion: the NDJSON stream replays from any seq
+// after the job finished, ending with the terminal event.
+func TestEventsReplayAfterCompletion(t *testing.T) {
+	_, c := startService(t, Config{})
+	ctx := context.Background()
+	st, _, err := c.Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay []api.Event
+	if err := c.Stream(ctx, st.ID, 1, func(e api.Event) { replay = append(replay, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 3 { // events 1, 2 and the terminal event
+		t.Fatalf("replay from seq 1 returned %d events, want 3", len(replay))
+	}
+	if replay[0].Seq != 1 || !replay[len(replay)-1].State.Terminal() {
+		t.Errorf("replay malformed: %+v", replay)
+	}
+}
+
+// TestHTTPErrors pins the error surface: bad specs 400, unknown jobs 404,
+// unfinished/failed results 409.
+func TestHTTPErrors(t *testing.T) {
+	svc, c := startService(t, Config{})
+	ctx := context.Background()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{`); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d, want 400", code)
+	}
+	if code := post(`{}`); code != http.StatusBadRequest {
+		t.Errorf("empty spec: %d, want 400", code)
+	}
+	if code := post(`{"experiment":"fig2","sweep":[{"Workload":"spmv"}]}`); code != http.StatusBadRequest {
+		t.Errorf("ambiguous spec: %d, want 400", code)
+	}
+	if code := post(`{"bogus_field":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", code)
+	}
+
+	if _, err := c.Status(ctx, "j-999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job status: %v, want 404", err)
+	}
+	if _, err := c.Result(ctx, "j-999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job result: %v, want 404", err)
+	}
+
+	// A sweep of an unknown workload fails; its result endpoint conflicts.
+	st, err := c.Submit(ctx, api.JobSpec{Sweep: []imp.Config{{Workload: "nope", Cores: 4, Scale: 0.05}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stream(ctx, st.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateFailed || final.Error == "" {
+		t.Fatalf("unknown-workload job: %+v", final)
+	}
+	if _, err := c.Result(ctx, st.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("failed job result: %v, want 409", err)
+	}
+
+	// An unfinished job's result endpoint also conflicts.
+	big := api.JobSpec{Sweep: make([]imp.Config, 0, 8), Parallelism: 1}
+	for i := 0; i < 8; i++ {
+		big.Sweep = append(big.Sweep, imp.Config{
+			Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(200 + i),
+		})
+	}
+	run, err := c.Submit(ctx, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result(ctx, run.ID); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("unfinished job result: %v, want 409", err)
+	}
+	if _, err := c.Cancel(ctx, run.ID); err != nil {
+		t.Fatal(err)
+	}
+	c.Stream(ctx, run.ID, 0, nil)
+}
+
+// TestListAndAux covers the listing and discovery endpoints.
+func TestListAndAux(t *testing.T) {
+	_, c := startService(t, Config{})
+	ctx := context.Background()
+	if _, _, err := c.Run(ctx, testSweepSpec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != api.StateDone {
+		t.Fatalf("job list: %+v", jobs)
+	}
+}
+
+// TestResultKeyStability: specs that describe the same work share a key;
+// specs that differ in inputs do not; execution hints never split keys.
+func TestResultKeyStability(t *testing.T) {
+	base := testSweepSpec()
+	k1, err := ResultKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted := testSweepSpec()
+	hinted.Parallelism = 7
+	hinted.TimeoutSec = 99
+	if k2, _ := ResultKey(hinted); k2 != k1 {
+		t.Error("parallelism/timeout hints changed the result key")
+	}
+	defaulted := testSweepSpec()
+	for i := range defaulted.Sweep {
+		defaulted.Sweep[i].Scale = 0.05 // already set; also normalize Cores
+	}
+	if k3, _ := ResultKey(defaulted); k3 != k1 {
+		t.Error("normalization is not canonical")
+	}
+	other := testSweepSpec()
+	other.Sweep[0].Seed = 1234
+	if k4, _ := ResultKey(other); k4 == k1 {
+		t.Error("different inputs share a result key")
+	}
+	exp := api.JobSpec{Experiment: "fig2", Cores: 4, Scale: 0.05}
+	k5, err := ResultKey(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k5 == k1 {
+		t.Error("experiment and sweep specs share a key")
+	}
+}
+
+// TestCloseDrains: Close waits for running jobs, then refuses submissions.
+func TestCloseDrains(t *testing.T) {
+	svc := New(Config{Executors: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	c := client.New(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if err := svc.Close(closeCtx); err != nil {
+		t.Fatalf("close did not drain: %v", err)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("job after drain: %+v", final)
+	}
+	if _, err := c.Submit(ctx, testSweepSpec()); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("submission after close: %v, want 503", err)
+	}
+}

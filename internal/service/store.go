@@ -1,0 +1,98 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/trace"
+	"github.com/impsim/imp/internal/workload"
+)
+
+// ResultKey derives the content address of a job's result. Like the trace
+// cache key (internal/progcache), it covers everything the output depends
+// on: the normalized spec plus the trace format and workload generator
+// versions, so bumping either invalidates stale results implicitly.
+// Parallelism and timeout are execution hints, not inputs — results are
+// byte-identical at any setting — so they are zeroed out of the key.
+func ResultKey(spec api.JobSpec) (string, error) {
+	spec.Normalize()
+	spec.Parallelism = 0
+	spec.TimeoutSec = 0
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("service: keying job spec: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "impjob|fmt%d|gen%d|", trace.FormatVersion, workload.GenVersion)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+}
+
+// store is the in-memory content-addressed result cache: key -> canonical
+// result bytes, LRU-bounded. Completed jobs publish here; submissions whose
+// key is present are answered without executing anything. (In-flight
+// deduplication — singleflight on the key — lives in the Service's byKey
+// index; the store only holds finished results.)
+type store struct {
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+	max     int
+	tick    uint64
+	hits    uint64
+	puts    uint64
+}
+
+type storeEntry struct {
+	data    []byte
+	lastUse uint64
+}
+
+func newStore(max int) *store {
+	if max < 1 {
+		max = 1
+	}
+	return &store{entries: make(map[string]*storeEntry), max: max}
+}
+
+// get returns the cached result bytes for key. Callers must treat the
+// returned slice as read-only (it is shared across requests).
+func (s *store) get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.tick++
+	e.lastUse = s.tick
+	s.hits++
+	return e.data, true
+}
+
+func (s *store) put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	s.puts++
+	s.entries[key] = &storeEntry{data: data, lastUse: s.tick}
+	for len(s.entries) > s.max {
+		victim := ""
+		var use uint64
+		for k, e := range s.entries {
+			if victim == "" || e.lastUse < use {
+				victim, use = k, e.lastUse
+			}
+		}
+		delete(s.entries, victim)
+	}
+}
+
+func (s *store) stats() (hits, puts uint64, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.puts, len(s.entries)
+}

@@ -16,7 +16,25 @@ type SweepOptions struct {
 	// (Experiment is empty for ad-hoc sweeps). It is never called
 	// concurrently with itself.
 	OnProgress func(ProgressEvent)
+	// Gate, when non-nil, additionally bounds in-flight simulations across
+	// every sweep sharing the gate (see NewGate). A service running many
+	// sweeps concurrently uses one gate to cap total simulation load;
+	// results are unaffected — gating only changes scheduling.
+	Gate Gate
 }
+
+// Gate bounds concurrent simulations across independent sweeps. Obtain one
+// with NewGate and share it via SweepOptions.Gate / ExpOptions.Gate.
+type Gate interface {
+	// Acquire blocks until a slot is free or ctx is done.
+	Acquire(ctx context.Context) error
+	// Release frees the slot taken by a successful Acquire.
+	Release()
+}
+
+// NewGate returns a Gate admitting at most n concurrent simulations
+// (n < 1 is treated as 1).
+func NewGate(n int) Gate { return harness.NewGate(n) }
 
 // RunSweep simulates every config concurrently with bounded parallelism and
 // returns one result per config, in config order — the results are identical
@@ -28,7 +46,7 @@ func RunSweep(ctx context.Context, cfgs []Config, opt SweepOptions) ([]*Result, 
 	for i, cfg := range cfgs {
 		meta[i] = sweepMeta{workload: cfg.Workload, system: cfg.System}
 	}
-	return sweepSim(ctx, opt.Parallelism, meta, func(ctx context.Context, i int) (*Result, error) {
+	return sweepSim(ctx, opt.Parallelism, opt.Gate, meta, func(ctx context.Context, i int) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -55,7 +73,7 @@ type sweepMeta struct {
 // it wraps per-point sim closures into labeled harness points, fans them out
 // with fail-fast bounded parallelism, translates harness events into
 // ProgressEvents, and returns results in point order.
-func sweepSim(ctx context.Context, parallelism int, meta []sweepMeta,
+func sweepSim(ctx context.Context, parallelism int, gate Gate, meta []sweepMeta,
 	sim func(ctx context.Context, i int) (*Result, error),
 	onProgress func(ProgressEvent), progress func(string)) ([]*Result, error) {
 	pts := make([]harness.Point[*Result], len(meta))
@@ -94,5 +112,5 @@ func sweepSim(ctx context.Context, parallelism int, meta []sweepMeta,
 		}
 	}
 	return harness.Sweep(ctx, pts,
-		harness.Options{Workers: parallelism, FailFast: true}, onEvent)
+		harness.Options{Workers: parallelism, FailFast: true, Gate: gate}, onEvent)
 }

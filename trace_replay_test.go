@@ -1,6 +1,8 @@
 package imp
 
 import (
+	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"testing"
 )
@@ -35,6 +37,55 @@ func TestTraceFileReplayMatchesInMemory(t *testing.T) {
 				streamed.NoCFlitHops != direct.NoCFlitHops ||
 				streamed.DRAMBytes != direct.DRAMBytes {
 				t.Errorf("streamed replay diverges: %+v vs direct %+v", streamed, direct)
+			}
+		})
+	}
+}
+
+// TestDifferentialEveryWorkloadStreamedVsInMemory is the differential
+// determinism check across the two replay paths: every workload kind runs
+// through imp.Run (trace built and materialized in memory) and through
+// imp.RunTraceFile (the same trace encoded to disk and streamed back with
+// windowed decoding), and the full metric surface must match exactly. This
+// covers every record flavor the generators emit — including SymGS's
+// spin-barrier mode and sgd/lsh's wide gap records — where the original
+// test covered a single workload.
+func TestDifferentialEveryWorkloadStreamedVsInMemory(t *testing.T) {
+	for _, name := range Workloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := Config{Workload: name, Cores: 4, Scale: 0.05, System: SystemIMP}
+			// Build once through the cache, then encode for the streamed run.
+			prog, err := BuildProgram(name, cfg.Cores, cfg.Scale, false, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), name+".imptrace")
+			if err := prog.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			direct, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := RunTraceFile(path, Config{System: cfg.System})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compare the entire exported metric surface, not a hand-picked
+			// subset: marshal both and require identical bytes (Metrics is
+			// json-excluded internal state).
+			dj, err := json.Marshal(direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sj, err := json.Marshal(streamed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dj, sj) {
+				t.Errorf("streamed replay diverges from in-memory run:\n--- in-memory\n%s\n--- streamed\n%s", dj, sj)
 			}
 		})
 	}
