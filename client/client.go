@@ -205,14 +205,28 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// responseError surfaces the service's {"error": ...} payload.
+// responseError surfaces the service's {"error": ...} payload behind a
+// status line that always carries the human-readable status text — a
+// router-originated 502/503 must be diagnosable even when the transport
+// reported only a bare code or the body is empty.
 func responseError(resp *http.Response) error {
+	status := strings.TrimSpace(resp.Status)
+	if status == "" || status == strconv.Itoa(resp.StatusCode) {
+		if text := http.StatusText(resp.StatusCode); text != "" {
+			status = fmt.Sprintf("%d %s", resp.StatusCode, text)
+		} else {
+			status = strconv.Itoa(resp.StatusCode)
+		}
+	}
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var e struct {
 		Error string `json:"error"`
 	}
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		return fmt.Errorf("client: %s: %s", status, e.Error)
 	}
-	return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(data))
+	if body := bytes.TrimSpace(data); len(body) > 0 {
+		return fmt.Errorf("client: %s: %s", status, body)
+	}
+	return fmt.Errorf("client: %s", status)
 }

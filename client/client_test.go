@@ -7,6 +7,7 @@ package client
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -99,5 +100,51 @@ func TestContextCancelsStream(t *testing.T) {
 	cancel()
 	if err := <-done; err == nil {
 		t.Fatal("canceled stream returned nil")
+	}
+}
+
+// TestStreamSurfacesStatusText: a router-originated 502 with an empty body
+// must still name the failure class ("Bad Gateway"), not just a number —
+// that text is often the only clue that a proxy, not the service, answered.
+func TestStreamSurfacesStatusText(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	err := c.Stream(context.Background(), "b0.j-000001", 0, nil)
+	if err == nil || !strings.Contains(err.Error(), "502 Bad Gateway") {
+		t.Fatalf("status text lost on empty-body 502: %v", err)
+	}
+	if strings.HasSuffix(err.Error(), ": ") || strings.HasSuffix(err.Error(), ":") {
+		t.Errorf("empty body left a dangling separator: %q", err.Error())
+	}
+}
+
+// TestStreamSurfacesRouterErrorPayload: the router's JSON error body rides
+// along with the status text.
+func TestStreamSurfacesRouterErrorPayload(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error": "router: no healthy backends"}`))
+	})
+	err := c.Stream(context.Background(), "b0.j-000001", 0, nil)
+	if err == nil || !strings.Contains(err.Error(), "503 Service Unavailable") ||
+		!strings.Contains(err.Error(), "no healthy backends") {
+		t.Fatalf("router error payload lost: %v", err)
+	}
+}
+
+// TestResponseErrorBareStatusCode: some transports (HTTP/2, test doubles)
+// leave Status empty or bare; the client reconstructs the text.
+func TestResponseErrorBareStatusCode(t *testing.T) {
+	for _, status := range []string{"", "503"} {
+		resp := &http.Response{
+			Status:     status,
+			StatusCode: http.StatusServiceUnavailable,
+			Body:       io.NopCloser(strings.NewReader("")),
+		}
+		err := responseError(resp)
+		if !strings.Contains(err.Error(), "503 Service Unavailable") {
+			t.Errorf("Status=%q: text not reconstructed: %v", status, err)
+		}
 	}
 }

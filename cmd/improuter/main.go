@@ -1,0 +1,113 @@
+// Command improuter fronts a fleet of impserve backends with a
+// consistent-hashing router: each submitted job is hashed by its
+// content-addressed result key onto the backend ring, so identical
+// submissions always land on the backend whose result store owns that key
+// and the single-instance dedup/cache guarantees survive sharding. The
+// router speaks the same api/ wire protocol as impserve — clients cannot
+// tell the difference — and relays NDJSON progress streams with `?from=`
+// resume intact.
+//
+// Usage:
+//
+//	improuter -addr :8090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// Backends are health-checked on an interval, evicted from routing while
+// down and readmitted on recovery; submissions retry onto the next ring
+// candidate (excluding failed nodes) up to -retries times.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/impsim/imp/internal/router"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("improuter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8090", "listen address")
+		backends = fs.String("backends", "", "comma-separated impserve base URLs (required; order is backend identity)")
+		replicas = fs.Int("replicas", 64, "virtual nodes per backend on the hash ring")
+		inflight = fs.Int("inflight", 64, "max concurrently proxied requests per backend")
+		retries  = fs.Int("retries", 0, "extra backends tried per submit after the owner fails (0 = all remaining)")
+		interval = fs.Duration("health-interval", 2*time.Second, "backend health probe period")
+		probeTO  = fs.Duration("health-timeout", time.Second, "single health probe timeout")
+		drain    = fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight proxied requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "improuter: -backends is required (comma-separated impserve URLs)")
+		return 2
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:       urls,
+		Replicas:       *replicas,
+		Inflight:       *inflight,
+		Retries:        *retries,
+		HealthInterval: *interval,
+		HealthTimeout:  *probeTO,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "improuter:", err)
+		return 1
+	}
+	defer rt.Close()
+	srv := &http.Server{Handler: rt.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "improuter:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "improuter: listening on %s, routing to %d backend(s)\n", ln.Addr(), len(urls))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "improuter:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "improuter: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(stderr, "improuter: http shutdown:", err)
+	}
+	fmt.Fprintln(stdout, "improuter: bye")
+	return 0
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp/internal/service"
+)
+
+// lockedBuffer lets the test read router output while run() writes it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-backends") {
+		t.Error("help output missing flags")
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestMissingBackendsExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
+		t.Fatalf("missing -backends exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-backends is required") {
+		t.Errorf("unhelpful error: %s", errb.String())
+	}
+}
+
+func TestBadBackendURLExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-backends", "::notaurl"}, &out, &errb); code != 1 {
+		t.Fatalf("bad backend URL exited %d, want 1", code)
+	}
+}
+
+// TestRouteAndGracefulShutdown boots the router over one real in-process
+// impserve backend, runs a job end to end through the router's public
+// surface, then cancels the context and expects a clean exit.
+func TestRouteAndGracefulShutdown(t *testing.T) {
+	svc := service.New(service.Config{Parallelism: 2})
+	backend := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		backend.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errb lockedBuffer
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-addr", "127.0.0.1:0", "-backends", backend.URL, "-health-interval", "50ms"}, &out, &errb)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on ([^\s,]+)`)
+	var base string
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if base == "" {
+		t.Fatalf("router never reported its address; stderr: %s", errb.String())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "1/1 backends") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get("/v1/workloads"); code != 200 || !strings.Contains(body, "pagerank") {
+		t.Fatalf("workloads: %d %q", code, body)
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"sweep":[{"Workload":"spmv","Cores":4,"Scale":0.05,"System":"imp"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	idRe := regexp.MustCompile(`"id":\s*"(b0\.j-\d+)"`)
+	m := idRe.FindStringSubmatch(string(body))
+	if m == nil {
+		t.Fatalf("no composite job id in %s", body)
+	}
+	if code, evs := get("/v1/jobs/" + m[1] + "/events"); code != 200 || !strings.Contains(evs, `"state":"done"`) {
+		t.Fatalf("events: %d %q", code, evs)
+	}
+	if code, res := get("/v1/jobs/" + m[1] + "/result"); code != 200 || !strings.Contains(res, `"Cycles"`) {
+		t.Fatalf("result: %d %q", code, res)
+	}
+	if code, st := get("/v1/stats"); code != 200 || !strings.Contains(st, `"per_backend"`) {
+		t.Fatalf("stats: %d %q", code, st)
+	}
+
+	cancel()
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d; stderr: %s", code, errb.String())
+		}
+	case <-time.After(40 * time.Second):
+		t.Fatal("router did not shut down")
+	}
+	if !strings.Contains(out.String(), "bye") {
+		t.Errorf("missing shutdown message; stdout: %s", out.String())
+	}
+}

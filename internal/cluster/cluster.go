@@ -1,0 +1,144 @@
+// Package cluster is the in-process test harness for the sharded service:
+// it spins N impserve instances (internal/service) behind an improuter
+// front-end (internal/router), all on loopback httptest servers, so e2e
+// tests — and the CI cluster job — can prove byte-identity with direct
+// library output, cache locality across resubmissions, and failure
+// handling (backend death, rehash, cancel routing) without shelling out to
+// real binaries.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"github.com/impsim/imp/client"
+	"github.com/impsim/imp/internal/router"
+	"github.com/impsim/imp/internal/service"
+)
+
+// Backend is one in-process impserve instance.
+type Backend struct {
+	// Service is the live service, for white-box assertions (stats,
+	// job lookups) the HTTP surface doesn't expose.
+	Service *service.Service
+	// Server is its loopback HTTP front.
+	Server *httptest.Server
+	// URL is Server.URL, the address registered with the router.
+	URL string
+
+	killed bool
+}
+
+// Cluster is N backends behind one router.
+type Cluster struct {
+	Backends []*Backend
+	Router   *router.Router
+	// Front is the router's loopback HTTP server; point clients here.
+	Front *httptest.Server
+}
+
+// Options tunes the fleet; zero values give each backend the service
+// defaults and the router fast health probes (50ms interval) so failure
+// tests converge quickly.
+type Options struct {
+	Service service.Config
+	Router  router.Config // Backends is filled in by Start
+}
+
+// Start builds an n-backend cluster. Call Close when done.
+func Start(n int, opt Options) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 backend, got %d", n)
+	}
+	c := &Cluster{}
+	rcfg := opt.Router
+	for i := 0; i < n; i++ {
+		svc := service.New(opt.Service)
+		srv := httptest.NewServer(svc.Handler())
+		c.Backends = append(c.Backends, &Backend{Service: svc, Server: srv, URL: srv.URL})
+		rcfg.Backends = append(rcfg.Backends, srv.URL)
+	}
+	if rcfg.HealthInterval <= 0 {
+		rcfg.HealthInterval = 50 * time.Millisecond
+	}
+	if rcfg.HealthTimeout <= 0 {
+		rcfg.HealthTimeout = time.Second
+	}
+	rt, err := router.New(rcfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Router = rt
+	c.Front = httptest.NewServer(rt.Handler())
+	return c, nil
+}
+
+// Client returns an api client pointed at the router; the same client type
+// works unchanged against a single backend, which is the compatibility
+// guarantee the router is tested for.
+func (c *Cluster) Client() *client.Client {
+	return client.New(c.Front.URL, c.Front.Client())
+}
+
+// BackendClient returns a client pointed directly at backend i, bypassing
+// the router (locality tests compare the two views).
+func (c *Cluster) BackendClient(i int) *client.Client {
+	return client.New(c.Backends[i].URL, c.Backends[i].Server.Client())
+}
+
+// Kill takes backend i down hard: active streams are severed mid-flight
+// (not drained), the listener stops, and any jobs it is still running are
+// canceled. Subsequent router traffic to it sees connection refused.
+func (c *Cluster) Kill(i int) {
+	b := c.Backends[i]
+	if b.killed {
+		return
+	}
+	b.killed = true
+	b.Server.CloseClientConnections()
+	b.Server.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired: cancel running jobs instead of draining
+	b.Service.Close(ctx)
+}
+
+// WaitHealthy blocks until the router reports want healthy backends or the
+// deadline passes, returning the last observed count. Failure tests call
+// it after Kill so routing decisions are made against settled health state.
+func (c *Cluster) WaitHealthy(want int, deadline time.Duration) int {
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	end := time.Now().Add(deadline)
+	last := -1
+	for time.Now().Before(end) {
+		last = c.Router.Stats(context.Background()).HealthyCount
+		if last == want {
+			return last
+		}
+		<-t.C
+	}
+	return last
+}
+
+// Close tears the whole fleet down: router first (stops health probes),
+// then every backend with a drain deadline.
+func (c *Cluster) Close() {
+	if c.Front != nil {
+		c.Front.Close()
+	}
+	if c.Router != nil {
+		c.Router.Close()
+	}
+	for _, b := range c.Backends {
+		if b.killed {
+			continue
+		}
+		b.Server.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		b.Service.Close(ctx)
+		cancel()
+	}
+}

@@ -1,0 +1,32 @@
+// Package httpx holds the response envelope shared by every HTTP surface
+// of the experiment service — the impserve backends (internal/service) and
+// the improuter front-end (internal/router). The shape is wire contract:
+// client/responseError parses the {"error": ...} object, and the indented
+// JSON with a trailing newline is what the router relays verbatim, so the
+// two servers must never drift apart. Like internal/jobkey, one definition
+// on purpose.
+package httpx
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// WriteJSON writes v as indented JSON with a trailing newline.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		WriteError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// WriteError writes the {"error": ...} envelope the client package parses.
+func WriteError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

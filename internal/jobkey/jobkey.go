@@ -1,0 +1,39 @@
+// Package jobkey derives the content address of a job's result from its
+// api.JobSpec. It is the single definition shared by the impserve backends
+// (internal/service keys its result store with it) and the improuter
+// front-end (internal/router hashes it onto the backend ring), so a spec
+// routed by the router lands on the backend whose store already holds — or
+// will hold — that key. Splitting the two definitions would silently break
+// cache locality; keep them one.
+package jobkey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/trace"
+	"github.com/impsim/imp/internal/workload"
+)
+
+// ResultKey derives the content address of a job's result. Like the trace
+// cache key (internal/progcache), it covers everything the output depends
+// on: the normalized spec plus the trace format and workload generator
+// versions, so bumping either invalidates stale results implicitly.
+// Parallelism and timeout are execution hints, not inputs — results are
+// byte-identical at any setting — so they are zeroed out of the key.
+func ResultKey(spec api.JobSpec) (string, error) {
+	spec.Normalize()
+	spec.Parallelism = 0
+	spec.TimeoutSec = 0
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("jobkey: keying job spec: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "impjob|fmt%d|gen%d|", trace.FormatVersion, workload.GenVersion)
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+}

@@ -1,0 +1,53 @@
+package jobkey
+
+import (
+	"testing"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+)
+
+// TestRouterBackendKeyIdentity is the property the router's cache locality
+// rests on: the key computed from a raw submitted spec equals the key of
+// the same spec after the backend has normalized it. If these ever diverge,
+// the router would hash jobs onto one backend while another owns the
+// cached result.
+func TestRouterBackendKeyIdentity(t *testing.T) {
+	raw := api.JobSpec{Sweep: []imp.Config{
+		{Workload: "spmv", System: imp.SystemIMP}, // Cores/Scale defaulted
+		{Workload: "pagerank", Cores: 8, Scale: 0.5, System: imp.SystemBaseline},
+	}}
+	routed, err := ResultKey(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	normalized := api.JobSpec{Sweep: []imp.Config{
+		{Workload: "spmv", Cores: 64, Scale: 1.0, System: imp.SystemIMP},
+		{Workload: "pagerank", Cores: 8, Scale: 0.5, System: imp.SystemBaseline},
+	}}
+	normalized.Normalize()
+	backend, err := ResultKey(normalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed != backend {
+		t.Fatalf("router key %s != backend key %s for the same work", routed, backend)
+	}
+
+	hinted := raw
+	hinted.Parallelism = 7
+	hinted.TimeoutSec = 30
+	if k, _ := ResultKey(hinted); k != routed {
+		t.Errorf("execution hints changed the key: %s != %s", k, routed)
+	}
+
+	exp := api.JobSpec{Experiment: "fig2", Workloads: []string{"spmv"}}
+	ek, err := ResultKey(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ek == routed {
+		t.Error("experiment and sweep specs share a key")
+	}
+}

@@ -1,0 +1,277 @@
+package router_test
+
+// Failure-path coverage for the sharding router: a backend dying
+// mid-stream, a ring reduced to one healthy member, a fleet-wide outage,
+// and cancellation routed to the owning backend. All run against real
+// in-process backends via internal/cluster; the CI cluster job executes
+// them under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/cluster"
+	"github.com/impsim/imp/internal/router"
+	"github.com/impsim/imp/internal/service"
+)
+
+// slowSweepSpec runs ~8 serial points of ~60ms each on a Parallelism-1
+// backend — long enough to kill or cancel the backend mid-job without
+// racing the sweep's natural completion.
+func slowSweepSpec() api.JobSpec {
+	cfgs := make([]imp.Config, 8)
+	for i := range cfgs {
+		cfgs[i] = imp.Config{Workload: "spmv", Cores: 4, Scale: 0.2, System: imp.SystemIMP, Seed: int64(i + 1)}
+	}
+	return api.JobSpec{Sweep: cfgs}
+}
+
+// TestClusterBackendKilledMidStream: the backend serving a streamed job is
+// killed hard mid-sweep. The streaming client must observe a well-formed
+// terminal "failed" event (synthesized by the router, not a dropped
+// connection), and resubmitting the same spec must rehash onto a healthy
+// backend — excluding the dead owner — and produce the full result.
+func TestClusterBackendKilledMidStream(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{Service: service.Config{Parallelism: 1}})
+	ctx := context.Background()
+
+	st, err := c.Client().Submit(ctx, slowSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st.ID)
+
+	var events []api.Event
+	var once sync.Once
+	err = c.Client().Stream(ctx, st.ID, 0, func(e api.Event) {
+		events = append(events, e)
+		once.Do(func() { c.Kill(owner) })
+	})
+	if err != nil {
+		t.Fatalf("stream over a killed backend must still end terminally, got: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events relayed before the kill")
+	}
+	term := events[len(events)-1]
+	if term.State != api.StateFailed {
+		t.Fatalf("terminal event state %q, want failed: %+v", term.State, term)
+	}
+	if !strings.Contains(term.Error, "died mid-stream") {
+		t.Errorf("terminal event does not name the backend death: %+v", term)
+	}
+	if term.Seq != events[len(events)-2].Seq+1 {
+		t.Errorf("synthesized terminal event seq %d does not extend the stream (prev %d)", term.Seq, events[len(events)-2].Seq)
+	}
+
+	// The dead backend leaves the ring; the same spec now hashes onto a
+	// healthy node and completes with the same bytes a direct run yields.
+	if got := c.WaitHealthy(2, 5*time.Second); got != 2 {
+		t.Fatalf("router still sees %d healthy backends after the kill", got)
+	}
+	st2, got, err := c.Client().Run(ctx, slowSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reOwner := ownerIndex(t, st2.ID)
+	if reOwner == owner {
+		t.Fatalf("resubmission rehashed onto the dead backend b%d", owner)
+	}
+	direct, err := imp.RunSweep(ctx, slowSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(api.SweepResult{Results: direct}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("rehashed result diverges from direct RunSweep output")
+	}
+}
+
+// TestClusterSingleHealthyBackend: with every other ring member dead, all
+// traffic converges on the survivor and the router stays up.
+func TestClusterSingleHealthyBackend(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+	c.Kill(1)
+	c.Kill(2)
+	if got := c.WaitHealthy(1, 5*time.Second); got != 1 {
+		t.Fatalf("router sees %d healthy backends, want 1", got)
+	}
+
+	for i := 0; i < 5; i++ {
+		spec := api.JobSpec{Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(i + 1)},
+		}}
+		st, _, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatalf("submit %d with one healthy backend: %v", i, err)
+		}
+		if ownerIndex(t, st.ID) != 0 {
+			t.Fatalf("job %d routed to dead backend: %s", i, st.ID)
+		}
+	}
+
+	resp, err := c.Front.Client().Get(c.Front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(buf.String(), "1/3") {
+		t.Errorf("healthz with one survivor: %d %q", resp.StatusCode, buf.String())
+	}
+}
+
+// TestClusterAllBackendsDown: a fleet-wide outage yields a diagnosable 502
+// on submit and a 503 router healthz — not a hang or a panic.
+func TestClusterAllBackendsDown(t *testing.T) {
+	c := startCluster(t, 2, cluster.Options{})
+	ctx := context.Background()
+	c.Kill(0)
+	c.Kill(1)
+	if got := c.WaitHealthy(0, 5*time.Second); got != 0 {
+		t.Fatalf("router sees %d healthy backends, want 0", got)
+	}
+
+	_, err := c.Client().Submit(ctx, testSweepSpec())
+	if err == nil {
+		t.Fatal("submit succeeded with every backend dead")
+	}
+	if !strings.Contains(err.Error(), "502") || !strings.Contains(err.Error(), "submit failed") {
+		t.Errorf("outage error not diagnosable: %v", err)
+	}
+
+	resp, err := c.Front.Client().Get(c.Front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("router healthz with no backends: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestClusterSaturatedBackendDoesNotHang: when a backend's whole in-flight
+// budget is held by open event streams, a new submit must fail fast with a
+// capacity error — not block forever in the gate — and the saturated
+// backend must NOT be evicted (saturation is load, not death).
+func TestClusterSaturatedBackendDoesNotHang(t *testing.T) {
+	c := startCluster(t, 1, cluster.Options{
+		Service: service.Config{Parallelism: 1},
+		Router:  router.Config{Inflight: 1, HealthTimeout: 200 * time.Millisecond},
+	})
+	ctx := context.Background()
+
+	// ~24 serial points keep the job (and thus the slot-holding stream)
+	// alive well past the saturated submit below, race detector or not.
+	cfgs := make([]imp.Config, 24)
+	for i := range cfgs {
+		cfgs[i] = imp.Config{Workload: "spmv", Cores: 4, Scale: 0.2, System: imp.SystemIMP, Seed: int64(100 + i)}
+	}
+	st, err := c.Client().Submit(ctx, api.JobSpec{Sweep: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		c.Client().Stream(streamCtx, st.ID, 0, nil) // holds b0's only slot
+	}()
+	// Wait until the router observably holds the slot for the stream.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if c.Router.Stats(ctx).Backends[0].InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream never took the backend's in-flight slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err = c.Client().Submit(ctx, testSweepSpec())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("submit succeeded through a fully saturated gate")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("submit blocked %v behind a saturated backend instead of failing fast", elapsed)
+	}
+	if !strings.Contains(err.Error(), "in-flight capacity") {
+		t.Errorf("saturation not named in the error: %v", err)
+	}
+	if got := c.Router.Stats(ctx).HealthyCount; got != 1 {
+		t.Errorf("saturation evicted the backend: %d/1 healthy", got)
+	}
+
+	stopStream()
+	<-streamDone
+	// Put the long job down so cluster teardown does not drain 20+ points.
+	if _, err := c.Client().Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterCancelRoutedToOwner: cancel through the router reaches
+// exactly the backend running the job, and only that backend records it.
+func TestClusterCancelRoutedToOwner(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{Service: service.Config{Parallelism: 1}})
+	ctx := context.Background()
+
+	st, err := c.Client().Submit(ctx, slowSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st.ID)
+
+	if _, err := c.Client().Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var final api.JobStatus
+	for {
+		final, err = c.Client().Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State.Terminal() || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final.State != api.StateCanceled {
+		t.Fatalf("job state %q after cancel, want canceled", final.State)
+	}
+
+	// White-box: the owning backend holds the canceled job under its raw
+	// id; the other backends never heard of it.
+	_, rawID, _ := strings.Cut(st.ID, ".")
+	j, err := c.Backends[owner].Service.Job(rawID)
+	if err != nil {
+		t.Fatalf("owner b%d does not know job %s: %v", owner, rawID, err)
+	}
+	if got := j.Status().State; got != api.StateCanceled {
+		t.Errorf("owner's job state %q, want canceled", got)
+	}
+	for i, b := range c.Backends {
+		if i == owner {
+			continue
+		}
+		if _, err := b.Service.Job(rawID); err == nil {
+			t.Errorf("backend b%d also holds job %s", i, rawID)
+		}
+	}
+}

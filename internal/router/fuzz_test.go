@@ -1,0 +1,49 @@
+package router
+
+// Native fuzz target for the router's request-decoding edge: arbitrary
+// submit bodies must either be rejected with an error or key and route
+// deterministically — never panic, never produce an empty or unstable
+// routing key. CI runs this in its fuzz smoke step with the corpus cached
+// between runs.
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzSubmitDecode(f *testing.F) {
+	f.Add([]byte(`{"sweep":[{"Workload":"spmv","Cores":4,"Scale":0.05,"System":"imp"}]}`))
+	f.Add([]byte(`{"sweep":[{"Workload":"pagerank"},{"Workload":"spmv","OutOfOrder":true,"Seed":7}]}`))
+	f.Add([]byte(`{"experiment":"fig2","cores":4,"scale":0.05,"workloads":["spmv","pagerank"]}`))
+	f.Add([]byte(`{"experiment":"table3","parallelism":8,"timeout_sec":30}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sweep":[]}`))
+	f.Add([]byte(`{"sweep":[{"Workload":""}]}`))
+	f.Add([]byte(`{"experiment":"fig2","sweep":[{"Workload":"spmv"}]}`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"timeout_sec":-1,"experiment":"x"}`))
+
+	ring := newRing(3, 64)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, key, err := DecodeSpec(data)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		if key == "" {
+			t.Fatalf("accepted spec %q produced an empty routing key", data)
+		}
+		_, key2, err2 := DecodeSpec(data)
+		if err2 != nil || key2 != key {
+			t.Fatalf("keying not deterministic for %q: %q/%v vs %q", data, key, err, key2)
+		}
+		order := ring.walk(key)
+		if len(order) != 3 {
+			t.Fatalf("key %q walked %d backends, want 3", key, len(order))
+		}
+		if !utf8.ValidString(key) {
+			t.Fatalf("key %q is not valid UTF-8", key)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indexes. Each backend owns
+// Replicas virtual points; a key is served by the first point at or after
+// its hash, walking clockwise. Membership is static for the router's
+// lifetime — health is a filter applied at lookup time, not a ring rebuild,
+// so a backend that flaps in and out of health keeps exactly the same key
+// ownership and the caches it warmed stay warm.
+type ring struct {
+	points []ringPoint
+	n      int // backend count
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+// hash64 maps s onto the ring's keyspace. sha256 (truncated) rather than a
+// fast non-crypto hash: vnode placement quality matters more than lookup
+// cost here, and submits are not a hot path.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func newRing(n, replicas int) *ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := &ring{points: make([]ringPoint, 0, n*replicas), n: n}
+	for idx := 0; idx < n; idx++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("b%d#%d", idx, v)), idx: idx})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// walk returns the distinct backend indexes that would serve key, in
+// preference order: the owner first, then each successive fallback met
+// walking clockwise. The order is what retry-with-rehash iterates — trying
+// candidates in walk order, skipping unhealthy or already-failed ones,
+// reproduces "rehash excluding the failed node" without mutating the ring.
+func (r *ring) walk(key string) []int {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			order = append(order, p.idx)
+		}
+	}
+	return order
+}

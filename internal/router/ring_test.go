@@ -1,0 +1,65 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingWalkCoversAllBackends: every key's walk order is a permutation of
+// all backends — the retry-with-rehash loop can always reach every node.
+func TestRingWalkCoversAllBackends(t *testing.T) {
+	r := newRing(5, 64)
+	for i := 0; i < 100; i++ {
+		order := r.walk(fmt.Sprintf("key-%d", i))
+		if len(order) != 5 {
+			t.Fatalf("walk(key-%d) covered %d backends, want 5", i, len(order))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= 5 || seen[idx] {
+				t.Fatalf("walk(key-%d) not a permutation: %v", i, order)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingStability: the same key always walks the same order, and the
+// owner assignment is independent of lookup history.
+func TestRingStability(t *testing.T) {
+	a, b := newRing(4, 64), newRing(4, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		wa, wb := a.walk(key), b.walk(key)
+		for j := range wa {
+			if wa[j] != wb[j] {
+				t.Fatalf("walk(%q) differs between identical rings: %v vs %v", key, wa, wb)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: with enough virtual nodes no backend owns a wildly
+// disproportionate key share (each of 3 backends gets >=15% of 3000 keys;
+// a broken ring typically sends ~everything to one node).
+func TestRingDistribution(t *testing.T) {
+	const backends, keys = 3, 3000
+	r := newRing(backends, 64)
+	counts := make([]int, backends)
+	for i := 0; i < keys; i++ {
+		counts[r.walk(fmt.Sprintf("%024x", i*7919))[0]]++
+	}
+	for idx, n := range counts {
+		if n < keys*15/100 {
+			t.Errorf("backend %d owns only %d/%d keys: %v", idx, n, keys, counts)
+		}
+	}
+}
+
+// TestRingSingleBackend: a one-node ring still resolves every key.
+func TestRingSingleBackend(t *testing.T) {
+	r := newRing(1, 8)
+	if got := r.walk("anything"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("walk on single-backend ring: %v", got)
+	}
+}

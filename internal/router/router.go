@@ -1,0 +1,698 @@
+// Package router implements improuter, the sharding front-end for a fleet
+// of impserve backends. It speaks the same api/ wire protocol as a single
+// instance — client/ works unchanged against either — and places each job
+// by consistent-hashing its content-addressed result key (internal/jobkey,
+// the same derivation the backends key their stores with) onto a ring of
+// backends. Identical submissions therefore always land on the backend
+// whose result store already holds (or is computing) that key, preserving
+// the single-instance dedup and cache-hit guarantees across the fleet.
+//
+// Reliability model:
+//
+//   - Active health checks (GET /healthz per backend on an interval) evict
+//     dead backends from routing and readmit them on recovery; transport
+//     failures during proxying evict passively and immediately.
+//   - Submissions retry with rehash: if the owning backend is down or
+//     refuses (502/503/504), the next distinct backend in ring-walk order
+//     is tried, excluding every node that already failed, up to a bounded
+//     attempt budget.
+//   - Per-backend in-flight caps (the imp.Gate seam the backends already
+//     use for simulation load) bound concurrently proxied requests so one
+//     slow backend cannot absorb every router connection.
+//
+// Job ids are rewritten on the way out: backend b2's "j-000017" becomes
+// "b2.j-000017", so status/result/events/cancel route statelessly back to
+// the owning backend with no id table in the router.
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/httpx"
+	"github.com/impsim/imp/internal/jobkey"
+)
+
+// Config parameterizes a Router. Zero values select the defaults.
+type Config struct {
+	// Backends lists the impserve base URLs ("http://host:port"). Order is
+	// identity: backend i is named "b<i>" in composite job ids, so keep the
+	// list stable across router restarts or outstanding ids go stale.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (default 64); more replicas smooth key distribution.
+	Replicas int
+	// Inflight caps concurrently proxied requests per backend (default 64),
+	// enforced with an imp.Gate per backend. Event streams hold a slot for
+	// their lifetime.
+	Inflight int
+	// Retries bounds additional backends tried after the owner fails
+	// (default: every remaining backend once).
+	Retries int
+	// HealthInterval is the active probe period (default 2s);
+	// HealthTimeout bounds one probe (default 1s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// Client issues backend requests; nil gets a client with no overall
+	// timeout (event streams are long-lived).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.Inflight <= 0 {
+		c.Inflight = 64
+	}
+	if c.Retries <= 0 {
+		c.Retries = len(c.Backends) - 1
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Stats is the router's aggregated /v1/stats payload.
+type Stats struct {
+	BackendCount int `json:"backends"`
+	HealthyCount int `json:"healthy"`
+	// Submitted counts submissions accepted by some backend; Rehashes
+	// counts retry attempts that moved a submission off its owner; Failed
+	// counts submissions no backend would take.
+	Submitted uint64 `json:"submitted"`
+	Rehashes  uint64 `json:"rehashes"`
+	Failed    uint64 `json:"failed"`
+	// Backends carries per-backend routing counters plus, when reachable,
+	// each backend's own service stats.
+	Backends []BackendStats `json:"per_backend"`
+}
+
+// Router fronts a fleet of impserve backends behind one api/ endpoint.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	hc       *http.Client
+
+	submitted atomic.Uint64
+	rehashes  atomic.Uint64
+	failed    atomic.Uint64
+
+	stopHealth context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds a Router over cfg.Backends and starts its health loop; Close
+// releases it. Backends start healthy — the first probe round corrects
+// that within HealthInterval, and submit retries cover the gap.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{cfg: cfg, hc: cfg.Client, ring: newRing(len(cfg.Backends), cfg.Replicas)}
+	for i, base := range cfg.Backends {
+		u, err := url.Parse(base)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: backend %d: bad URL %q", i, base)
+		}
+		rt.backends = append(rt.backends, &backend{
+			name:    fmt.Sprintf("b%d", i),
+			base:    strings.TrimRight(base, "/"),
+			gate:    imp.NewGate(cfg.Inflight),
+			healthy: true,
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.stopHealth = cancel
+	rt.wg.Add(1)
+	go rt.healthLoop(ctx)
+	return rt, nil
+}
+
+// Close stops the health loop.
+func (rt *Router) Close() {
+	rt.stopHealth()
+	rt.wg.Wait()
+}
+
+// healthLoop probes every backend each interval, evicting and readmitting
+// ring members as /healthz answers change.
+func (rt *Router) healthLoop(ctx context.Context) {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		var wg sync.WaitGroup
+		for _, b := range rt.backends {
+			wg.Add(1)
+			go func(b *backend) {
+				defer wg.Done()
+				b.probe(ctx, rt.hc, rt.cfg.HealthTimeout)
+			}(b)
+		}
+		wg.Wait()
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Handler returns the router's HTTP API — the same surface a single
+// impserve exposes, plus aggregation on /v1/stats.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", rt.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob(http.MethodGet, "", true))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleJob(http.MethodGet, "/result", false))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", rt.handleJob(http.MethodPost, "/cancel", true))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleEvents)
+	mux.HandleFunc("GET /v1/workloads", rt.handlePassthrough("/v1/workloads"))
+	mux.HandleFunc("GET /v1/experiments", rt.handlePassthrough("/v1/experiments"))
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+// maxSpecBytes mirrors the backend's submit body bound.
+const maxSpecBytes = 1 << 20
+
+// DecodeSpec parses and validates a submit body exactly as handleSubmit
+// does, returning the normalized spec's result key. Exported for the fuzz
+// target: arbitrary bytes must either fail here or key deterministically.
+func DecodeSpec(body []byte) (api.JobSpec, string, error) {
+	var spec api.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return api.JobSpec{}, "", fmt.Errorf("decoding job spec: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return api.JobSpec{}, "", err
+	}
+	key, err := jobkey.ResultKey(spec)
+	if err != nil {
+		return api.JobSpec{}, "", err
+	}
+	return spec, key, nil
+}
+
+// handleSubmit keys the spec, walks the ring from its owner, and forwards
+// the original body to the first candidate that takes it. Transport
+// failures evict the backend and rehash to the next distinct node;
+// refusals (502/503/504) rehash without evicting. Every other backend
+// answer — success or a 4xx the client must see — passes through with the
+// job id rewritten.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading job spec: %w", err))
+		return
+	}
+	_, key, err := DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	candidates := rt.candidates(key)
+	budget := rt.cfg.Retries + 1
+	var lastErr error
+	for attempt, idx := range candidates {
+		if attempt >= budget {
+			break
+		}
+		if attempt > 0 {
+			rt.rehashes.Add(1)
+		}
+		b := rt.backends[idx]
+		resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/jobs", "", body)
+		if err != nil {
+			if clientGone(r) {
+				return // the submitter went away, not the backend
+			}
+			if !errors.Is(err, errSaturated) {
+				b.markDown(err) // saturation is load, not death — rehash only
+			}
+			lastErr = fmt.Errorf("backend %s: %w", b.name, err)
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("backend %s: %s: %s", b.name, resp.Status, bytes.TrimSpace(msg))
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			copyResponse(w, resp)
+			return
+		}
+		var st api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s: decoding status: %w", b.name, err))
+			return
+		}
+		st.ID = b.name + "." + st.ID
+		b.submits.Add(1)
+		rt.submitted.Add(1)
+		writeJSON(w, resp.StatusCode, st)
+		return
+	}
+	rt.failed.Add(1)
+	if lastErr == nil {
+		lastErr = errors.New("no backend available")
+	}
+	writeError(w, http.StatusBadGateway, fmt.Errorf("router: submit failed after %d backend(s): %w", min(budget, len(candidates)), lastErr))
+}
+
+// retryableStatus marks backend answers that justify rehashing: the
+// backend is up but refusing work (queue full, draining) or is itself a
+// failing proxy. 4xx answers are the client's problem and pass through.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+// clientGone reports whether a proxy failure was caused by the incoming
+// request's own cancellation (client disconnect or timeout) rather than by
+// the backend. Such failures must not evict the backend from the ring —
+// one impatient client would otherwise cost every other client the key
+// owner's warmed cache for a probe interval.
+func clientGone(r *http.Request) bool {
+	return r.Context().Err() != nil
+}
+
+// proxyFailure classifies a forward() error for a single-backend endpoint:
+// only a genuine backend failure evicts (client disconnects and slot
+// saturation do not), and saturation answers 503 rather than 502.
+func proxyFailure(r *http.Request, b *backend, err error) (status int) {
+	if errors.Is(err, errSaturated) {
+		return http.StatusServiceUnavailable
+	}
+	if !clientGone(r) {
+		b.markDown(err)
+	}
+	return http.StatusBadGateway
+}
+
+// candidates returns backend indexes to try for key: healthy ring members
+// in walk order, then — only if none are healthy — every member in walk
+// order, so a fleet-wide outage still makes one optimistic pass instead of
+// failing without trying.
+func (rt *Router) candidates(key string) []int {
+	order := rt.ring.walk(key)
+	healthy := order[:0:0]
+	for _, idx := range order {
+		if rt.backends[idx].isHealthy() {
+			healthy = append(healthy, idx)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return order
+}
+
+// forward issues one gated request to b. The in-flight slot is waited for
+// at most HealthTimeout: a backend saturated with open streams yields
+// errSaturated (rehash / 503 material) instead of absorbing the caller
+// indefinitely — without that bound a full gate would make submits hang
+// forever and the retry loop unreachable.
+func (rt *Router) forward(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*http.Response, error) {
+	release, err := b.acquire(ctx, rt.cfg.HealthTimeout)
+	if err != nil {
+		return nil, err
+	}
+	u := b.base + path
+	if rawQuery != "" {
+		u += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	resp.Body = &releasingBody{ReadCloser: resp.Body, release: release}
+	return resp, nil
+}
+
+// releasingBody frees the backend's in-flight slot when the proxied
+// response body is closed, which for event streams is stream end.
+type releasingBody struct {
+	io.ReadCloser
+	release func()
+	once    sync.Once
+}
+
+func (b *releasingBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.once.Do(b.release)
+	return err
+}
+
+// splitID resolves a composite job id ("b2.j-000017") to its backend.
+func (rt *Router) splitID(composite string) (*backend, string, error) {
+	name, id, ok := strings.Cut(composite, ".")
+	if ok && id != "" {
+		for _, b := range rt.backends {
+			if b.name == name {
+				return b, id, nil
+			}
+		}
+	}
+	return nil, "", fmt.Errorf("router: unknown job %q", composite)
+}
+
+// handleJob proxies one per-job endpoint to the owning backend. rewrite
+// re-addresses the returned JobStatus id; result bytes pass through
+// untouched (they are the content-addressed payload — byte identity with
+// direct library output is the contract).
+func (rt *Router) handleJob(method, suffix string, rewrite bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		b, id, err := rt.splitID(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		b.proxied.Add(1)
+		resp, err := rt.forward(r.Context(), b, method, "/v1/jobs/"+url.PathEscape(id)+suffix, "", nil)
+		if err != nil {
+			writeError(w, proxyFailure(r, b, err), fmt.Errorf("router: backend %s: %w", b.name, err))
+			return
+		}
+		defer resp.Body.Close()
+		if !rewrite || resp.StatusCode/100 != 2 {
+			copyResponse(w, resp)
+			return
+		}
+		var st api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Errorf("router: backend %s: decoding status: %w", b.name, err))
+			return
+		}
+		st.ID = b.name + "." + st.ID
+		writeJSON(w, resp.StatusCode, st)
+	}
+}
+
+// handleEvents relays the owning backend's NDJSON stream line by line,
+// flushing per event and preserving ?from= resume. If the backend dies
+// mid-stream the relay does not just drop the connection — it emits a
+// synthetic terminal "failed" event so a streaming client observes a
+// well-formed end instead of hanging or resyncing blind, then evicts the
+// backend.
+func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
+	b, id, err := rt.splitID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	b.proxied.Add(1)
+	resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/events", r.URL.RawQuery, nil)
+	if err != nil {
+		writeError(w, proxyFailure(r, b, err), fmt.Errorf("router: backend %s: %w", b.name, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		copyResponse(w, resp)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	lastSeq := -1
+	terminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev api.Event
+		if json.Unmarshal(line, &ev) == nil {
+			lastSeq = ev.Seq
+			terminal = terminal || ev.State.Terminal()
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if terminal || clientGone(r) {
+		// Relayed to a clean terminal end, or the client went away (which
+		// also surfaces here as a read error on the proxied request) — the
+		// backend did nothing wrong either way.
+		return
+	}
+	cause := sc.Err()
+	if cause == nil {
+		// Clean EOF without a terminal line. A healthy backend does end one
+		// kind of stream this way: resuming a finished job with ?from= past
+		// its last event yields zero lines (a single instance behaves
+		// identically, so the router must too). A status probe tells that
+		// apart from a backend that vanished mid-job; a probe that fails
+		// because the *client* just went away proves nothing about the
+		// backend, so it must not evict or fabricate a failure either.
+		st, perr := rt.jobStatus(r.Context(), b, id)
+		if perr == nil && st.State.Terminal() {
+			return
+		}
+		if clientGone(r) {
+			return
+		}
+		cause = io.ErrUnexpectedEOF
+	}
+	b.markDown(cause)
+	synth := api.Event{
+		Seq:   lastSeq + 1,
+		State: api.StateFailed,
+		Error: fmt.Sprintf("router: backend %s died mid-stream: %v; resubmit to rehash onto a healthy backend", b.name, cause),
+	}
+	if data, err := json.Marshal(synth); err == nil {
+		w.Write(append(data, '\n'))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// jobStatus fetches one job's status straight from its backend (raw id),
+// bounded by the health timeout. Deliberately ungated, like a health
+// probe: the caller already holds one of b's in-flight slots for the
+// stream being diagnosed, and the probe must not queue behind it when
+// Inflight is small.
+func (rt *Router) jobStatus(ctx context.Context, b *backend, id string) (api.JobStatus, error) {
+	sctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, b.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.JobStatus{}, fmt.Errorf("status probe: %s", resp.Status)
+	}
+	var st api.JobStatus
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// handleList fans the listing out to every healthy backend and merges the
+// rewritten statuses in submission-time order. A backend that cannot be
+// read is named in an X-Improuter-Partial header (the body stays a plain
+// JobStatus list for client compatibility) instead of its jobs silently
+// "vanishing"; if nothing was reachable at all the listing fails loudly.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	var all []api.JobStatus
+	var missing []string
+	reached := 0
+	for _, b := range rt.backends {
+		if !b.isHealthy() {
+			continue
+		}
+		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs", "", nil)
+		if err != nil {
+			if !clientGone(r) && !errors.Is(err, errSaturated) {
+				b.markDown(err)
+			}
+			missing = append(missing, b.name)
+			continue
+		}
+		var jobs []api.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&jobs)
+		resp.Body.Close()
+		if err != nil {
+			missing = append(missing, b.name)
+			continue
+		}
+		reached++
+		for i := range jobs {
+			jobs[i].ID = b.name + "." + jobs[i].ID
+		}
+		all = append(all, jobs...)
+	}
+	if reached == 0 && len(missing) > 0 {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("router: no backend listing reachable (tried %s)", strings.Join(missing, ", ")))
+		return
+	}
+	if len(missing) > 0 {
+		w.Header().Set("X-Improuter-Partial", strings.Join(missing, ","))
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].SubmittedAt.Equal(all[j].SubmittedAt) {
+			return all[i].SubmittedAt.Before(all[j].SubmittedAt)
+		}
+		return all[i].ID < all[j].ID
+	})
+	if all == nil {
+		all = []api.JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, all)
+}
+
+// handlePassthrough proxies fleet-invariant endpoints (workload and
+// experiment catalogs) to the first backend that answers.
+func (rt *Router) handlePassthrough(path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		for _, healthyOnly := range []bool{true, false} {
+			for _, b := range rt.backends {
+				if healthyOnly != b.isHealthy() {
+					continue
+				}
+				resp, err := rt.forward(r.Context(), b, http.MethodGet, path, "", nil)
+				if err != nil {
+					if !clientGone(r) && !errors.Is(err, errSaturated) {
+						b.markDown(err)
+					}
+					continue
+				}
+				defer resp.Body.Close()
+				copyResponse(w, resp)
+				return
+			}
+		}
+		writeError(w, http.StatusBadGateway, errors.New("router: no backend available"))
+	}
+}
+
+// Stats aggregates router counters with each live backend's own service
+// stats. The per-backend fetches are best-effort, parallel, and ungated
+// like health probes — /v1/stats is exactly what an operator reads when
+// backends are saturated, so it must not queue behind the saturation it
+// is reporting.
+func (rt *Router) Stats(ctx context.Context) Stats {
+	st := Stats{
+		BackendCount: len(rt.backends),
+		Submitted:    rt.submitted.Load(),
+		Rehashes:     rt.rehashes.Load(),
+		Failed:       rt.failed.Load(),
+		Backends:     make([]BackendStats, len(rt.backends)),
+	}
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		bs := b.stats()
+		if !bs.Healthy {
+			st.Backends[i] = bs
+			continue
+		}
+		st.HealthyCount++
+		wg.Add(1)
+		go func(i int, b *backend, bs BackendStats) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+			defer cancel()
+			if req, err := http.NewRequestWithContext(sctx, http.MethodGet, b.base+"/v1/stats", nil); err == nil {
+				if resp, err := rt.hc.Do(req); err == nil {
+					json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&bs.Service)
+					resp.Body.Close()
+				}
+			}
+			st.Backends[i] = bs
+		}(i, b, bs)
+	}
+	wg.Wait()
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats(r.Context()))
+}
+
+// handleHealthz reports the router healthy while it can route anywhere.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := 0
+	for _, b := range rt.backends {
+		if b.isHealthy() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		writeError(w, http.StatusServiceUnavailable, errors.New("router: no healthy backends"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ok %d/%d backends\n", healthy, len(rt.backends))
+}
+
+// copyResponse passes a backend answer through verbatim.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// writeJSON and writeError delegate to the shared envelope
+// (internal/httpx) — the same bytes a backend would produce, so responses
+// synthesized by the router are indistinguishable from relayed ones.
+func writeJSON(w http.ResponseWriter, code int, v any) { httpx.WriteJSON(w, code, v) }
+
+func writeError(w http.ResponseWriter, code int, err error) { httpx.WriteError(w, code, err) }

@@ -1,0 +1,409 @@
+package router_test
+
+// End-to-end tests of the sharding router over real in-process impserve
+// backends (internal/cluster). These are the CI cluster job's payload: the
+// byte-identity and locality tests here are the acceptance criteria for
+// sharding — a client pointed at the router must be unable to tell it from
+// a single instance, and identical submissions must keep landing on the
+// backend that owns their cached result.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/cluster"
+)
+
+// testSweepSpec mirrors the service tests' small three-point sweep.
+func testSweepSpec() api.JobSpec {
+	return api.JobSpec{Sweep: []imp.Config{
+		{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP},
+		{Workload: "pagerank", Cores: 4, Scale: 0.05, System: imp.SystemBaseline},
+		{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemNone},
+	}}
+}
+
+func startCluster(t *testing.T, n int, opt cluster.Options) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Start(n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		dumpStats(t, c)
+		c.Close()
+	})
+	return c
+}
+
+// dumpStats writes the router's aggregated stats where the CI cluster job
+// can pick them up as a failure artifact (CLUSTER_STATS_DIR).
+func dumpStats(t *testing.T, c *cluster.Cluster) {
+	dir := os.Getenv("CLUSTER_STATS_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("stats dump: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(c.Router.Stats(context.Background()), "", "  ")
+	if err != nil {
+		t.Logf("stats dump: %v", err)
+		return
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()) + ".json"
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Logf("stats dump: %v", err)
+	}
+}
+
+// ownerIndex resolves a composite job id ("b2.j-000017") to the backend
+// index the router placed it on.
+func ownerIndex(t *testing.T, compositeID string) int {
+	t.Helper()
+	name, _, ok := strings.Cut(compositeID, ".")
+	if !ok || !strings.HasPrefix(name, "b") {
+		t.Fatalf("job id %q is not composite", compositeID)
+	}
+	idx, err := strconv.Atoi(name[1:])
+	if err != nil {
+		t.Fatalf("job id %q has a malformed backend name", compositeID)
+	}
+	return idx
+}
+
+// TestClusterByteIdentitySweep is acceptance criterion one: a sweep routed
+// through a 3-backend cluster returns bytes identical to direct
+// imp.RunSweep output marshaled the canonical way.
+func TestClusterByteIdentitySweep(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	st, got, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ownerIndex(t, st.ID) >= 3 {
+		t.Fatalf("job landed on impossible backend: %s", st.ID)
+	}
+
+	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(api.SweepResult{Results: direct}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("routed result diverges from direct RunSweep output:\n--- router\n%s\n--- direct\n%s", got, want)
+	}
+}
+
+// TestClusterByteIdentityGolden is acceptance criterion two: concurrent
+// clients submitting the fig2 experiment through the router all read bytes
+// identical to the committed golden table.
+func TestClusterByteIdentityGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden = bytes.TrimSuffix(golden, []byte("\n"))
+
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+	spec := api.JobSpec{Experiment: "fig2", Cores: 4, Scale: 0.05, Workloads: []string{"spmv", "pagerank"}}
+
+	const clients = 4
+	var wg sync.WaitGroup
+	results := make([][]byte, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i], errs[i] = c.Client().Run(ctx, spec, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], golden) {
+			t.Errorf("client %d result differs from golden table:\n--- router\n%s\n--- golden\n%s", i, results[i], golden)
+		}
+	}
+
+	// Concurrent identical submissions must also have collapsed onto one
+	// backend (and at most one execution) — cross-backend duplication would
+	// mean routing ignored the result key.
+	executed := 0
+	for _, b := range c.Backends {
+		executed += int(b.Service.Stats().Executed)
+	}
+	if executed != 1 {
+		t.Errorf("%d executions across the fleet for %d identical submissions, want 1", executed, clients)
+	}
+}
+
+// TestClusterLocality is acceptance criterion three: resubmitting an
+// identical job lands on the same backend and is answered from that
+// backend's live index or result store without re-executing, and the
+// router's per-backend submit counters prove no other backend saw it.
+func TestClusterLocality(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	st1, _, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st1.ID)
+
+	st2, err := c.Client().Submit(ctx, testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ownerIndex(t, st2.ID); got != owner {
+		t.Fatalf("resubmission routed to b%d, original ran on b%d", got, owner)
+	}
+	if !st2.Deduped && !st2.Cached {
+		t.Errorf("resubmission was not served from the owning backend's index/store: %+v", st2)
+	}
+	if st2.State != api.StateDone {
+		t.Errorf("resubmission not answered terminally: %+v", st2)
+	}
+
+	// Locality counters: the owner saw both submits and executed once; no
+	// other backend was touched by a submit at all.
+	rstats := c.Router.Stats(ctx)
+	for i, b := range c.Backends {
+		svc := b.Service.Stats()
+		bs := rstats.Backends[i]
+		if i == owner {
+			if bs.Submits != 2 {
+				t.Errorf("owner b%d submit counter = %d, want 2", i, bs.Submits)
+			}
+			if svc.Executed != 1 {
+				t.Errorf("owner b%d executed %d jobs, want 1", i, svc.Executed)
+			}
+			if svc.Deduped+svc.Cached == 0 {
+				t.Errorf("owner b%d answered the resubmission by executing, not from index/store: %+v", i, svc)
+			}
+			if svc.StorePuts != 1 {
+				t.Errorf("owner b%d store puts = %d, want 1", i, svc.StorePuts)
+			}
+		} else {
+			if bs.Submits != 0 {
+				t.Errorf("backend b%d saw %d submits of a job it does not own", i, bs.Submits)
+			}
+			if svc.Executed != 0 {
+				t.Errorf("backend b%d executed %d jobs it does not own", i, svc.Executed)
+			}
+		}
+	}
+	if rstats.Rehashes != 0 {
+		t.Errorf("healthy cluster recorded %d rehashes", rstats.Rehashes)
+	}
+}
+
+// TestClusterKeySpreads: distinct specs do not all pile onto one backend.
+// (With 3 backends and 12 distinct keys the chance of a uniform hash
+// assigning every key to one node is ~3/3^12; a constant-key routing bug
+// always does.)
+func TestClusterKeySpreads(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+	owners := map[int]bool{}
+	for i := 0; i < 12; i++ {
+		spec := api.JobSpec{Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(i + 1)},
+		}}
+		st, err := c.Client().Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[ownerIndex(t, st.ID)] = true
+	}
+	if len(owners) < 2 {
+		t.Errorf("12 distinct specs all routed to %d backend(s)", len(owners))
+	}
+}
+
+// TestClusterStreamResume: the router preserves ?from= — a resumed stream
+// replays exactly the suffix, ending with the same terminal event.
+func TestClusterStreamResume(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	st, _, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full []api.Event
+	if err := c.Client().Stream(ctx, st.ID, 0, func(e api.Event) { full = append(full, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(testSweepSpec().Sweep)+1 {
+		t.Fatalf("full stream: %d events, want %d", len(full), len(testSweepSpec().Sweep)+1)
+	}
+
+	from := len(full) - 1
+	var tail []api.Event
+	if err := c.Client().Stream(ctx, st.ID, from, func(e api.Event) { tail = append(tail, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].Seq != from || !tail[0].State.Terminal() {
+		t.Fatalf("resumed stream from %d: %+v", from, tail)
+	}
+
+	// Resuming past the end of a finished job yields an empty stream — the
+	// same "ended before the terminal event" a single instance produces —
+	// and must not fabricate a failure event or evict the healthy owner.
+	var past []api.Event
+	err = c.Client().Stream(ctx, st.ID, len(full)+5, func(e api.Event) { past = append(past, e) })
+	if err == nil || !strings.Contains(err.Error(), "before the terminal event") {
+		t.Fatalf("resume past end: err=%v events=%+v", err, past)
+	}
+	if len(past) != 0 {
+		t.Errorf("resume past end fabricated events: %+v", past)
+	}
+	if got := c.Router.Stats(ctx).HealthyCount; got != 3 {
+		t.Errorf("resume past end evicted a healthy backend: %d/3 healthy", got)
+	}
+}
+
+// TestClusterStatusAndList: per-job status rewrites the id back to its
+// composite form, and the merged listing carries every backend's jobs.
+func TestClusterStatusAndList(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		spec := api.JobSpec{Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(i + 1)},
+		}}
+		st, _, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		st, err := c.Client().Status(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ID != id || st.State != api.StateDone {
+			t.Errorf("status for %s came back as %+v", id, st)
+		}
+	}
+	listed, err := c.Client().Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, st := range listed {
+		have[st.ID] = true
+	}
+	for _, id := range ids {
+		if !have[id] {
+			t.Errorf("job %s missing from merged listing %v", id, listed)
+		}
+	}
+
+	if _, err := c.Client().Status(ctx, "b9.j-000001"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown backend prefix not a 404: %v", err)
+	}
+	if _, err := c.Client().Status(ctx, "nodot"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("non-composite id not a 404: %v", err)
+	}
+}
+
+// TestClusterStatsAggregation: /v1/stats folds each backend's own service
+// counters into the router's per-backend view.
+func TestClusterStatsAggregation(t *testing.T) {
+	c := startCluster(t, 2, cluster.Options{})
+	ctx := context.Background()
+	if _, _, err := c.Client().Run(ctx, testSweepSpec(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Router.Stats(ctx)
+	if st.BackendCount != 2 || st.HealthyCount != 2 {
+		t.Fatalf("stats health view: %+v", st)
+	}
+	if st.Submitted != 1 {
+		t.Errorf("router submitted = %d, want 1", st.Submitted)
+	}
+	totalExecuted := 0.0
+	for _, bs := range st.Backends {
+		if bs.Service == nil {
+			t.Errorf("backend %s stats missing service payload", bs.Name)
+			continue
+		}
+		if v, ok := bs.Service["executed"].(float64); ok {
+			totalExecuted += v
+		}
+	}
+	if totalExecuted != 1 {
+		t.Errorf("aggregated executed = %v, want 1", totalExecuted)
+	}
+
+	// The catalogs pass through unchanged.
+	wls, err := httpGetJSONList(c, "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) == 0 {
+		t.Error("workload catalog empty through the router")
+	}
+}
+
+func httpGetJSONList(c *cluster.Cluster, path string) ([]string, error) {
+	resp, err := c.Front.Client().Get(c.Front.URL + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	var out []string
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// TestClusterBadSpecRejectedAtEdge: the router validates before routing —
+// a malformed spec is a 400 from the router itself, with no backend
+// counter moving.
+func TestClusterBadSpecRejectedAtEdge(t *testing.T) {
+	c := startCluster(t, 2, cluster.Options{})
+	resp, err := c.Front.Client().Post(c.Front.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiment":"fig2","sweep":[{"Workload":"spmv"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("both-kinds spec: %d, want 400", resp.StatusCode)
+	}
+	st := c.Router.Stats(context.Background())
+	for _, bs := range st.Backends {
+		if bs.Submits != 0 {
+			t.Errorf("invalid spec reached backend %s", bs.Name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/impsim/imp"
 	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/httpx"
 )
 
 // Handler returns the service's HTTP API:
@@ -170,19 +171,8 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	data, err := json.MarshalIndent(v, "", "  ")
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(append(data, '\n'))
-}
+// writeJSON and writeError delegate to the shared envelope
+// (internal/httpx) so backend and router responses cannot drift apart.
+func writeJSON(w http.ResponseWriter, code int, v any) { httpx.WriteJSON(w, code, v) }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
+func writeError(w http.ResponseWriter, code int, err error) { httpx.WriteError(w, code, err) }

@@ -1,35 +1,18 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
 	"sync"
 
 	"github.com/impsim/imp/api"
-	"github.com/impsim/imp/internal/trace"
-	"github.com/impsim/imp/internal/workload"
+	"github.com/impsim/imp/internal/jobkey"
 )
 
-// ResultKey derives the content address of a job's result. Like the trace
-// cache key (internal/progcache), it covers everything the output depends
-// on: the normalized spec plus the trace format and workload generator
-// versions, so bumping either invalidates stale results implicitly.
-// Parallelism and timeout are execution hints, not inputs — results are
-// byte-identical at any setting — so they are zeroed out of the key.
+// ResultKey derives the content address of a job's result. The definition
+// lives in internal/jobkey — shared with the improuter front-end, which
+// hashes the same key onto its backend ring so every spec is routed to the
+// backend whose store owns that key.
 func ResultKey(spec api.JobSpec) (string, error) {
-	spec.Normalize()
-	spec.Parallelism = 0
-	spec.TimeoutSec = 0
-	b, err := json.Marshal(spec)
-	if err != nil {
-		return "", fmt.Errorf("service: keying job spec: %w", err)
-	}
-	h := sha256.New()
-	fmt.Fprintf(h, "impjob|fmt%d|gen%d|", trace.FormatVersion, workload.GenVersion)
-	h.Write(b)
-	return hex.EncodeToString(h.Sum(nil)[:12]), nil
+	return jobkey.ResultKey(spec)
 }
 
 // store is the in-memory content-addressed result cache: key -> canonical
