@@ -9,6 +9,13 @@
 // format and workload generator versions, so identical submissions are
 // deduplicated and served from cache, and service results are byte-for-byte
 // identical to direct library output at any parallelism.
+//
+// Content addressing is also what makes the fleet's replication protocol
+// trivial: because the bytes under a JobStatus.Key are a pure function of
+// the spec, any two backends holding that key hold identical bytes, and
+// the internal PUT/GET /v1/results/{key} surface (served by every backend,
+// used by the improuter front-end for replica fan-out and read-repair)
+// needs no versioning or conflict resolution.
 package api
 
 import (

@@ -116,6 +116,39 @@ func (c *Client) TableResult(ctx context.Context, id string) (*imp.Table, error)
 	return &tbl, nil
 }
 
+// StoredResult reads the service's result store directly by content key
+// (GET /v1/results/{key}) — the peer-read half of the internal replication
+// surface the improuter front-end uses for replica reads and read-repair.
+// A miss is an error carrying the 404 status.
+func (c *Client) StoredResult(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/results/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, responseError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PutStoredResult writes result bytes under a content key
+// (PUT /v1/results/{key}) — the replica-write half of the replication
+// surface. The service trusts the bytes to be the canonical result for
+// key; results are content-addressed, so honest writers cannot disagree.
+func (c *Client) PutStoredResult(ctx context.Context, key string, data []byte) error {
+	resp, err := c.do(ctx, http.MethodPut, "/v1/results/"+url.PathEscape(key), data)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return responseError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
 // Stream follows the job's NDJSON progress stream from seq, invoking
 // onEvent per event (including the terminal one), and returns once the
 // terminal event arrives. onEvent may be nil to just wait for completion.

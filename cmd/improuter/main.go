@@ -14,6 +14,14 @@
 // Backends are health-checked on an interval, evicted from routing while
 // down and readmitted on recovery; submissions retry onto the next ring
 // candidate (excluding failed nodes) up to -retries times.
+//
+// Finished results are replicated: with -replicas R (default 2), each
+// result is copied asynchronously from its owner to the next R-1 healthy
+// ring successors via the backends' internal PUT /v1/results/{key}
+// surface, and a cold owner is read-repaired from its successors at
+// submit time — so killing or restarting a backend does not cost the
+// fleet its cached results. Virtual-node placement hashes by backend
+// address, so reordering -backends preserves every key's ownership.
 package main
 
 import (
@@ -45,7 +53,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		addr     = fs.String("addr", ":8090", "listen address")
 		backends = fs.String("backends", "", "comma-separated impserve base URLs (required; order is backend identity)")
-		replicas = fs.Int("replicas", 64, "virtual nodes per backend on the hash ring")
+		vnodes   = fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		replicas = fs.Int("replicas", 2, "backends holding each result (owner + replicas-1 ring successors); 1 disables replication")
+		replPoll = fs.Duration("replica-poll", 250*time.Millisecond, "poll period while waiting for a job to finish before replicating its result")
 		inflight = fs.Int("inflight", 64, "max concurrently proxied requests per backend")
 		retries  = fs.Int("retries", 0, "extra backends tried per submit after the owner fails (0 = all remaining)")
 		interval = fs.Duration("health-interval", 2*time.Second, "backend health probe period")
@@ -69,10 +79,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "improuter: -backends is required (comma-separated impserve URLs)")
 		return 2
 	}
+	// -replicas used to mean virtual nodes (now -vnodes); an explicit value
+	// beyond the backend count is almost certainly a pre-rename start
+	// script, and silently turning 64 vnodes into 64-way replication would
+	// be a nasty surprise — fail loudly instead.
+	explicitReplicas := false
+	fs.Visit(func(f *flag.Flag) { explicitReplicas = explicitReplicas || f.Name == "replicas" })
+	if explicitReplicas && *replicas > len(urls) {
+		fmt.Fprintf(stderr, "improuter: -replicas %d exceeds the %d configured backend(s); "+
+			"it is the replication factor now — virtual nodes moved to -vnodes\n", *replicas, len(urls))
+		return 2
+	}
 
 	rt, err := router.New(router.Config{
 		Backends:       urls,
+		Vnodes:         *vnodes,
 		Replicas:       *replicas,
+		ReplicaPoll:    *replPoll,
 		Inflight:       *inflight,
 		Retries:        *retries,
 		HealthInterval: *interval,

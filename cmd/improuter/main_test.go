@@ -60,6 +60,21 @@ func TestMissingBackendsExitsTwo(t *testing.T) {
 	}
 }
 
+// TestLegacyReplicasFlagExitsTwo: -replicas used to mean virtual nodes;
+// an explicit value beyond the backend count (e.g. the old default, 64)
+// must be rejected with a message naming the rename, not silently become
+// a 64-way replication factor.
+func TestLegacyReplicasFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-addr", "127.0.0.1:0", "-backends", "http://127.0.0.1:1", "-replicas", "64"}
+	if code := run(context.Background(), args, &out, &errb); code != 2 {
+		t.Fatalf("legacy -replicas 64 exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-vnodes") {
+		t.Errorf("error does not name the renamed flag: %s", errb.String())
+	}
+}
+
 func TestBadBackendURLExitsOne(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-backends", "::notaurl"}, &out, &errb); code != 1 {

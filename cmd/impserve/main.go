@@ -7,6 +7,11 @@
 //
 //	impserve -addr :8080 -j 8 -executors 2 -queue 64
 //
+// With -results-dir the content-addressed result store is also persisted
+// to disk (one CRC-checked file per key, corrupt entries evicted on read),
+// so a restarted server answers previously computed jobs without
+// recomputing them.
+//
 // Submit and follow a job:
 //
 //	curl -s localhost:8080/v1/jobs -d '{"sweep":[{"Workload":"spmv","Cores":16,"System":"imp"}]}'
@@ -48,7 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		executors = fs.Int("executors", 2, "max concurrently running jobs")
 		parallel  = fs.Int("j", 0, "total in-flight simulations across all jobs (0 = all CPUs)")
 		timeout   = fs.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
-		results   = fs.Int("results", 256, "result cache entries (content-addressed)")
+		results   = fs.Int("results", 256, "result cache entries (content-addressed, in-memory)")
+		resultDir = fs.String("results-dir", "", "persist results to this directory (CRC-checked files; a restarted server comes back warm)")
 		drain     = fs.Duration("drain", 30*time.Second, "shutdown grace before running jobs are canceled")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -58,12 +64,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *resultDir != "" {
+		// Fail fast on an unusable directory here; the service itself
+		// treats disk trouble as best-effort so mid-flight failures (full
+		// disk) degrade to memory-only instead of failing jobs.
+		if err := os.MkdirAll(*resultDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "impserve: -results-dir:", err)
+			return 1
+		}
+	}
 	svc := service.New(service.Config{
 		QueueDepth:   *queue,
 		Executors:    *executors,
 		Parallelism:  *parallel,
 		JobTimeout:   *timeout,
 		StoreEntries: *results,
+		ResultsDir:   *resultDir,
 	})
 	srv := &http.Server{Handler: svc.Handler()}
 

@@ -54,6 +54,20 @@ func TestBadAddrExitsOne(t *testing.T) {
 	}
 }
 
+// TestBadResultsDirExitsOne: an unusable -results-dir must fail at startup
+// (operators should learn about a typo'd path immediately), while
+// mid-flight disk trouble only degrades to memory-only.
+func TestBadResultsDirExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-results-dir", "/dev/null/not-a-dir"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("unusable -results-dir exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "results-dir") {
+		t.Errorf("error does not name the flag: %s", errb.String())
+	}
+}
+
 // TestServeAndGracefulShutdown boots the server on an ephemeral port, hits
 // the API end to end, then cancels the context and expects a clean exit.
 func TestServeAndGracefulShutdown(t *testing.T) {

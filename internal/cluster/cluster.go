@@ -10,7 +10,10 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
+	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"time"
 
 	"github.com/impsim/imp/client"
@@ -28,6 +31,8 @@ type Backend struct {
 	// URL is Server.URL, the address registered with the router.
 	URL string
 
+	cfg    service.Config // for Restart: same config, fresh process state
+	addr   string         // host:port, pinned so Restart rebinds it
 	killed bool
 }
 
@@ -40,11 +45,15 @@ type Cluster struct {
 }
 
 // Options tunes the fleet; zero values give each backend the service
-// defaults and the router fast health probes (50ms interval) so failure
-// tests converge quickly.
+// defaults and the router fast health probes (50ms interval) and
+// replication polls (20ms) so failure tests converge quickly.
 type Options struct {
 	Service service.Config
 	Router  router.Config // Backends is filled in by Start
+	// ResultsDir, when set, gives backend i a persistent on-disk result
+	// store under <ResultsDir>/b<i>, so restart tests can prove a backend
+	// comes back warm from disk.
+	ResultsDir string
 }
 
 // Start builds an n-backend cluster. Call Close when done.
@@ -55,9 +64,16 @@ func Start(n int, opt Options) (*Cluster, error) {
 	c := &Cluster{}
 	rcfg := opt.Router
 	for i := 0; i < n; i++ {
-		svc := service.New(opt.Service)
+		scfg := opt.Service
+		if opt.ResultsDir != "" {
+			scfg.ResultsDir = filepath.Join(opt.ResultsDir, fmt.Sprintf("b%d", i))
+		}
+		svc := service.New(scfg)
 		srv := httptest.NewServer(svc.Handler())
-		c.Backends = append(c.Backends, &Backend{Service: svc, Server: srv, URL: srv.URL})
+		c.Backends = append(c.Backends, &Backend{
+			Service: svc, Server: srv, URL: srv.URL,
+			cfg: scfg, addr: srv.Listener.Addr().String(),
+		})
 		rcfg.Backends = append(rcfg.Backends, srv.URL)
 	}
 	if rcfg.HealthInterval <= 0 {
@@ -65,6 +81,9 @@ func Start(n int, opt Options) (*Cluster, error) {
 	}
 	if rcfg.HealthTimeout <= 0 {
 		rcfg.HealthTimeout = time.Second
+	}
+	if rcfg.ReplicaPoll <= 0 {
+		rcfg.ReplicaPoll = 20 * time.Millisecond
 	}
 	rt, err := router.New(rcfg)
 	if err != nil {
@@ -103,6 +122,38 @@ func (c *Cluster) Kill(i int) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // expired: cancel running jobs instead of draining
 	b.Service.Close(ctx)
+}
+
+// Restart brings a killed backend back on its original address with the
+// same service config — including any results dir — but fresh process
+// state, mimicking a real impserve restart. The router's membership is
+// static, so the revived backend is readmitted by the next health probe
+// and immediately owns its old keys again; with a results dir its store
+// answers them from disk.
+func (c *Cluster) Restart(i int) error {
+	b := c.Backends[i]
+	if !b.killed {
+		return fmt.Errorf("cluster: backend %d is not killed", i)
+	}
+	// The dead server's port can linger in TIME_WAIT briefly; retry the
+	// rebind instead of failing the test on scheduler luck.
+	var ln net.Listener
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		ln, err = net.Listen("tcp", b.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: rebinding %s: %w", b.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	svc := service.New(b.cfg)
+	srv := &httptest.Server{Listener: ln, Config: &http.Server{Handler: svc.Handler()}}
+	srv.Start()
+	b.Service, b.Server, b.URL, b.killed = svc, srv, srv.URL, false
+	return nil
 }
 
 // WaitHealthy blocks until the router reports want healthy backends or the

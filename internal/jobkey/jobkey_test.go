@@ -51,3 +51,30 @@ func TestRouterBackendKeyIdentity(t *testing.T) {
 		t.Error("experiment and sweep specs share a key")
 	}
 }
+
+// TestValidKey: every ResultKey output validates; nothing that could
+// misbehave as a file name or URL segment does.
+func TestValidKey(t *testing.T) {
+	k, err := ResultKey(api.JobSpec{Experiment: "fig2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidKey(k) {
+		t.Fatalf("ResultKey output %q does not validate", k)
+	}
+	if len(k) != KeyLen {
+		t.Fatalf("key length %d, want %d", len(k), KeyLen)
+	}
+	for _, bad := range []string{
+		"",
+		"abc",
+		k + "0",                                // too long
+		k[:KeyLen-1] + "G",                     // uppercase hex
+		k[:KeyLen-1] + "/",                     // path separator
+		"../../../etc/passwd00000000"[:KeyLen], // traversal shape
+	} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey accepted %q", bad)
+		}
+	}
+}

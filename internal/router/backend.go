@@ -26,12 +26,13 @@ type backend struct {
 	lastErr   string
 	lastProbe time.Time
 
-	inflight  atomic.Int64
-	submits   atomic.Uint64 // jobs this backend accepted
-	proxied   atomic.Uint64 // non-submit requests proxied to it
-	errors    atomic.Uint64 // transport-level failures talking to it
-	evictions atomic.Uint64 // healthy -> unhealthy transitions
-	readmits  atomic.Uint64 // unhealthy -> healthy transitions
+	inflight    atomic.Int64
+	submits     atomic.Uint64 // jobs this backend accepted
+	proxied     atomic.Uint64 // non-submit requests proxied to it
+	errors      atomic.Uint64 // transport-level failures talking to it
+	evictions   atomic.Uint64 // healthy -> unhealthy transitions
+	readmits    atomic.Uint64 // unhealthy -> healthy transitions
+	replicaPuts atomic.Uint64 // replica copies written into its store
 }
 
 // isHealthy reports the backend's current ring membership.
@@ -137,6 +138,10 @@ type BackendStats struct {
 	Evicted  uint64 `json:"evictions"`
 	Readmits uint64 `json:"readmissions"`
 	InFlight int64  `json:"in_flight"`
+	// ReplicaPuts counts result copies the router wrote into this
+	// backend's store (replication fan-out; read-repairs are counted
+	// fleet-wide on the router instead).
+	ReplicaPuts uint64 `json:"replica_puts"`
 	// Service is the backend's own /v1/stats payload, when reachable.
 	Service map[string]any `json:"service,omitempty"`
 }
@@ -150,6 +155,6 @@ func (b *backend) stats() BackendStats {
 		Healthy: healthy, LastErr: lastErr,
 		Submits: b.submits.Load(), Proxied: b.proxied.Load(),
 		Errors: b.errors.Load(), Evicted: b.evictions.Load(), Readmits: b.readmits.Load(),
-		InFlight: b.inflight.Load(),
+		InFlight: b.inflight.Load(), ReplicaPuts: b.replicaPuts.Load(),
 	}
 }

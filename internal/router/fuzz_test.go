@@ -25,7 +25,7 @@ func FuzzSubmitDecode(f *testing.F) {
 	f.Add([]byte(`[1,2,3]`))
 	f.Add([]byte(`{"timeout_sec":-1,"experiment":"x"}`))
 
-	ring := newRing(3, 64)
+	ring := newRing(testAddrs(3), 64)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, key, err := DecodeSpec(data)
 		if err != nil {

@@ -1,0 +1,294 @@
+package router
+
+// Result replication and read-repair. Results are content-addressed and
+// byte-identical across the fleet (the same property routing exploits), so
+// copying them is always safe: two honest replicas of a key can never
+// disagree, writes are idempotent, and there is no consistency protocol to
+// run — just fan-out after completion and repair-on-read, memcache/dynamo
+// style. With Replicas=R, each finished result lives on its ring owner
+// plus the next R-1 healthy successors in walk order; when the owner dies,
+// the rehashed submission lands on exactly those successors, whose stores
+// answer without recomputing, and when a cold owner comes back, submit-time
+// read-repair refills it from the replicas before work is forwarded.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/impsim/imp/api"
+)
+
+// scheduleReplication starts (at most) one background watcher for a key
+// after its submission was accepted by b. st is the backend's own answer,
+// raw id: a terminal done status (cached answers) fans out immediately,
+// a live one is polled to completion first. Failed and canceled jobs have
+// nothing to copy.
+func (rt *Router) scheduleReplication(key string, b *backend, st api.JobStatus) {
+	if rt.cfg.Replicas < 2 || rt.ring.n < 2 {
+		return
+	}
+	if st.State.Terminal() && st.State != api.StateDone {
+		return
+	}
+	rt.replMu.Lock()
+	// replClosed: Close has (or is about to) run wg.Wait; adding to the
+	// WaitGroup now would race it. replConfirmed: this key already fanned
+	// out to its full replica complement and membership health has not
+	// changed since — re-verifying every warm resubmission would multiply
+	// the router's internal traffic by the replica count at steady state.
+	if rt.replClosed || rt.replWatch[key] || rt.replConfirmed[key] {
+		rt.replMu.Unlock()
+		return
+	}
+	rt.replWatch[key] = true
+	rt.wg.Add(1)
+	rt.replMu.Unlock()
+	go func() {
+		defer rt.wg.Done()
+		defer func() {
+			rt.replMu.Lock()
+			delete(rt.replWatch, key)
+			rt.replMu.Unlock()
+		}()
+		rt.replicate(rt.baseCtx, key, b, st)
+	}()
+}
+
+// maxConfirmedKeys bounds the confirmed-replicated set; beyond it the set
+// resets, which only costs re-verification, never correctness.
+const maxConfirmedKeys = 65536
+
+// markConfirmed records that key is fully replicated — but only if the
+// health picture is still the one the caller verified under (epoch from
+// healthEpoch at the start of its fan-out). A watcher racing a health
+// transition must not re-confirm a key it verified against backends that
+// have since flapped: the readmitted one may be cold.
+func (rt *Router) markConfirmed(key string, epoch uint64) {
+	rt.replMu.Lock()
+	if rt.healthEpoch.Load() == epoch {
+		if len(rt.replConfirmed) >= maxConfirmedKeys {
+			rt.replConfirmed = make(map[string]bool)
+		}
+		rt.replConfirmed[key] = true
+	}
+	rt.replMu.Unlock()
+}
+
+// invalidateConfirmed wipes the confirmed set on any health transition,
+// since an evicted-then-readmitted backend may have restarted with a cold
+// store, and bumps the epoch so in-flight watchers cannot re-add stale
+// confirmations.
+func (rt *Router) invalidateConfirmed() {
+	rt.replMu.Lock()
+	rt.healthEpoch.Add(1)
+	if len(rt.replConfirmed) > 0 {
+		rt.replConfirmed = make(map[string]bool)
+	}
+	rt.replMu.Unlock()
+}
+
+// replicate waits for the job to finish on its owner, then copies the
+// result to the next Replicas-1 healthy ring successors that do not
+// already hold it.
+func (rt *Router) replicate(ctx context.Context, key string, owner *backend, st api.JobStatus) {
+	epoch := rt.healthEpoch.Load()
+	if !st.State.Terminal() {
+		tick := time.NewTicker(rt.cfg.ReplicaPoll)
+		defer tick.Stop()
+		for {
+			cur, err := rt.jobStatus(ctx, owner, st.ID)
+			if err != nil {
+				if ctx.Err() == nil {
+					rt.replicaErrors.Add(1) // owner unreachable; health loop owns eviction
+				}
+				return
+			}
+			if cur.State.Terminal() {
+				st = cur
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}
+	if st.State != api.StateDone {
+		return
+	}
+	data, ok, err := rt.storeGet(ctx, owner, key)
+	if err != nil || !ok {
+		if ctx.Err() == nil {
+			rt.replicaErrors.Add(1)
+		}
+		return
+	}
+	succ := rt.successors(key, owner)
+	placed := 0
+	for _, idx := range succ {
+		b := rt.backends[idx]
+		if ok, err := rt.storeHas(ctx, b, key); err == nil && ok {
+			placed++
+			continue // replica already present; fan-out is idempotent
+		}
+		if err := rt.storePut(ctx, b, key, data); err != nil {
+			if ctx.Err() == nil {
+				rt.replicaErrors.Add(1)
+			}
+			continue
+		}
+		b.replicaPuts.Add(1)
+		rt.replicaPuts.Add(1)
+		placed++
+	}
+	if placed == len(succ) && placed == rt.cfg.Replicas-1 {
+		rt.markConfirmed(key, epoch) // full complement; skip re-verification until health changes
+	}
+}
+
+// successors returns up to Replicas-1 healthy backends after owner in the
+// key's walk order — the nodes a rehash would land on, which is exactly
+// why they hold the replicas.
+func (rt *Router) successors(key string, owner *backend) []int {
+	var out []int
+	for _, idx := range rt.ring.walk(key) {
+		b := rt.backends[idx]
+		if b == owner || !b.isHealthy() {
+			continue
+		}
+		out = append(out, idx)
+		if len(out) >= rt.cfg.Replicas-1 {
+			break
+		}
+	}
+	return out
+}
+
+// readRepair runs on the submit path, before the spec is forwarded: if the
+// first candidate (the backend about to receive the work) misses its store
+// for key, the key's successors are probed — one past the replica count,
+// tolerating a dead successor — and the first replica found is copied onto
+// the target, so the forwarded submission is answered from its store
+// instead of executing. Probes and the copy are bounded and best-effort: a
+// repair that cannot happen degrades to recomputation, never to an error.
+func (rt *Router) readRepair(ctx context.Context, key string, candidates []int) {
+	if rt.cfg.Replicas < 2 || len(candidates) < 2 {
+		return
+	}
+	target := rt.backends[candidates[0]]
+	if ok, err := rt.storeHas(ctx, target, key); err != nil || ok {
+		return // warm — or unreachable, which the forward loop handles
+	}
+	probes := candidates[1:]
+	if len(probes) > rt.cfg.Replicas {
+		probes = probes[:rt.cfg.Replicas]
+	}
+	for _, idx := range probes {
+		data, ok, err := rt.storeGet(ctx, rt.backends[idx], key)
+		if err != nil || !ok {
+			continue
+		}
+		if err := rt.storePut(ctx, target, key, data); err == nil {
+			rt.readRepairs.Add(1)
+		}
+		return
+	}
+	rt.repairMisses.Add(1)
+}
+
+// maxStoreResultBytes mirrors the backend's replica-write bound.
+const maxStoreResultBytes = 64 << 20
+
+// storeTimeout bounds one store read or write. Store traffic is ungated,
+// like health probes and status probes: replication runs in the background
+// and read-repair runs ahead of a submit already queued for a gate slot,
+// so neither may deadlock behind — or be starved by — open event streams.
+func (rt *Router) storeTimeout() time.Duration { return 5 * rt.cfg.HealthTimeout }
+
+// storeHas probes b's result store for key without transferring the body
+// (HEAD; Go's GET mux patterns serve it for free). Presence checks run on
+// every submit (read-repair) and per successor in the fan-out — paying a
+// full result download just to learn "it exists" would tax the fleet with
+// the result size on each.
+func (rt *Router) storeHas(ctx context.Context, b *backend, key string) (bool, error) {
+	sctx, cancel := context.WithTimeout(ctx, rt.storeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodHead, b.base+"/v1/results/"+url.PathEscape(key), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("store head %s: %s", b.name, resp.Status)
+	}
+}
+
+// storeGet reads b's result store by content key. ok=false with a nil
+// error is a clean miss (404); an error means b could not answer.
+func (rt *Router) storeGet(ctx context.Context, b *backend, key string) (data []byte, ok bool, err error) {
+	sctx, cancel := context.WithTimeout(ctx, rt.storeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, b.base+"/v1/results/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Read one byte past the bound so an oversized result is an error,
+		// not a silent truncation that would then be replicated (with a
+		// valid CRC over the truncated bytes!) as if canonical.
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxStoreResultBytes+1))
+		if err != nil {
+			return nil, false, err
+		}
+		if len(data) > maxStoreResultBytes {
+			return nil, false, fmt.Errorf("store get %s: result exceeds %d bytes", b.name, maxStoreResultBytes)
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("store get %s: %s", b.name, resp.Status)
+	}
+}
+
+// storePut writes one result into b's store.
+func (rt *Router) storePut(ctx context.Context, b *backend, key string, data []byte) error {
+	sctx, cancel := context.WithTimeout(ctx, rt.storeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodPut, b.base+"/v1/results/"+url.PathEscape(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("store put %s: %s", b.name, resp.Status)
+	}
+	return nil
+}

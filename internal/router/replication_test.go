@@ -1,0 +1,210 @@
+package router_test
+
+// E2e tests for result replication, disk persistence and read-repair: a
+// dead backend's cached results must be served byte-identical from a ring
+// successor with zero new executions fleet-wide, a backend restarted with
+// a results dir must answer from disk without recompute, and a backend
+// restarted cold must be refilled from its replicas at submit time. These
+// run in the CI cluster job under -race.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp/internal/cluster"
+	"github.com/impsim/imp/internal/router"
+)
+
+// waitReplica polls until some backend other than owner holds key in its
+// store, returning its index (-1 on timeout). Replication is asynchronous;
+// tests must settle it before killing the owner.
+func waitReplica(c *cluster.Cluster, owner int, key string, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		for i, b := range c.Backends {
+			if i == owner {
+				continue
+			}
+			if _, ok := b.Service.StoredResult(key); ok {
+				return i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return -1
+}
+
+// executedFleetWide sums Executed over every live backend.
+func executedFleetWide(c *cluster.Cluster, skip int) uint64 {
+	var total uint64
+	for i, b := range c.Backends {
+		if i == skip {
+			continue
+		}
+		total += b.Service.Stats().Executed
+	}
+	return total
+}
+
+// TestClusterReplicaServesAfterOwnerDeath is the replication acceptance
+// criterion: kill the backend that computed (and owns) a result, resubmit
+// the identical spec, and the byte-identical cached result must come back
+// from a ring successor's replica with zero new executions anywhere.
+func TestClusterReplicaServesAfterOwnerDeath(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	st, want, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st.ID)
+	replica := waitReplica(c, owner, st.Key, 10*time.Second)
+	if replica < 0 {
+		t.Fatalf("result %s never replicated off its owner b%d", st.Key, owner)
+	}
+
+	c.Kill(owner)
+	if got := c.WaitHealthy(2, 5*time.Second); got != 2 {
+		t.Fatalf("router still sees %d healthy backends after the kill", got)
+	}
+	before := executedFleetWide(c, owner)
+
+	st2, got, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reOwner := ownerIndex(t, st2.ID); reOwner == owner {
+		t.Fatalf("resubmission routed to the dead backend b%d", owner)
+	}
+	if !st2.Cached {
+		t.Errorf("resubmission was not served from a replica store: %+v", st2)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("replica-served result diverges from the original:\n--- replica\n%s\n--- original\n%s", got, want)
+	}
+	if after := executedFleetWide(c, owner); after != before {
+		t.Errorf("resubmission after owner death executed %d new job(s) fleet-wide, want 0", after-before)
+	}
+	if rs := c.Router.Stats(ctx); rs.ReplicaPuts == 0 {
+		t.Errorf("router recorded no replica puts: %+v", rs)
+	}
+}
+
+// TestClusterRestartWarmFromDisk is the persistence acceptance criterion:
+// with -results-dir set and replication disabled (to isolate the disk
+// path), a backend killed and restarted must serve its prior results from
+// its on-disk store — same bytes, zero executions on the revived process.
+func TestClusterRestartWarmFromDisk(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{
+		ResultsDir: t.TempDir(),
+		Router:     router.Config{Replicas: 1},
+	})
+	ctx := context.Background()
+
+	st, want, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st.ID)
+
+	c.Kill(owner)
+	if got := c.WaitHealthy(2, 5*time.Second); got != 2 {
+		t.Fatalf("router still sees %d healthy backends after the kill", got)
+	}
+	if err := c.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WaitHealthy(3, 5*time.Second); got != 3 {
+		t.Fatalf("restarted backend never readmitted: %d/3 healthy", got)
+	}
+
+	st2, got, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reOwner := ownerIndex(t, st2.ID); reOwner != owner {
+		t.Fatalf("resubmission routed to b%d, want the restarted owner b%d (static ring)", reOwner, owner)
+	}
+	if !st2.Cached {
+		t.Errorf("restarted owner did not answer from its store: %+v", st2)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("disk-served result diverges from the original")
+	}
+	svc := c.Backends[owner].Service.Stats()
+	if svc.Executed != 0 {
+		t.Errorf("restarted owner executed %d job(s), want 0 (disk store should answer)", svc.Executed)
+	}
+	if svc.StoreDiskHits == 0 {
+		t.Errorf("restarted owner served without a disk hit: %+v", svc)
+	}
+}
+
+// TestClusterReadRepairRefillsColdOwner: a backend restarted *without* a
+// results dir comes back cold, but the submit path must read-repair it
+// from a replica before forwarding — the cold owner answers from its
+// refilled store instead of recomputing, and the router counts the repair.
+func TestClusterReadRepairRefillsColdOwner(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+
+	st, want, err := c.Client().Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := ownerIndex(t, st.ID)
+	if waitReplica(c, owner, st.Key, 10*time.Second) < 0 {
+		t.Fatalf("result %s never replicated off its owner b%d", st.Key, owner)
+	}
+
+	c.Kill(owner)
+	if got := c.WaitHealthy(2, 5*time.Second); got != 2 {
+		t.Fatalf("router still sees %d healthy backends after the kill", got)
+	}
+	if err := c.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WaitHealthy(3, 5*time.Second); got != 3 {
+		t.Fatalf("restarted backend never readmitted: %d/3 healthy", got)
+	}
+	before := executedFleetWide(c, -1)
+
+	st2, err := c.Client().Submit(ctx, testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reOwner := ownerIndex(t, st2.ID); reOwner != owner {
+		t.Fatalf("resubmission routed to b%d, want the restarted owner b%d", reOwner, owner)
+	}
+	if !st2.Cached {
+		t.Errorf("cold owner was not read-repaired before the submit: %+v", st2)
+	}
+	got, err := c.Client().Result(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("read-repaired result diverges from the original")
+	}
+	if after := executedFleetWide(c, -1); after != before {
+		t.Errorf("read-repaired resubmission executed %d new job(s), want 0", after-before)
+	}
+
+	rs := c.Router.Stats(ctx)
+	if rs.ReadRepairs != 1 {
+		t.Errorf("read repairs = %d, want 1", rs.ReadRepairs)
+	}
+	if rs.RepairMisses == 0 {
+		t.Errorf("the first (genuinely new) submission did not count a repair miss: %+v", rs)
+	}
+	ownerSvc := c.Backends[owner].Service.Stats()
+	if ownerSvc.StorePuts == 0 {
+		t.Errorf("repair wrote nothing into the cold owner's store: %+v", ownerSvc)
+	}
+	if ownerSvc.Executed != 0 {
+		t.Errorf("cold owner executed %d job(s) after repair, want 0", ownerSvc.Executed)
+	}
+}

@@ -8,11 +8,20 @@ import (
 )
 
 // ring is a consistent-hash ring over backend indexes. Each backend owns
-// Replicas virtual points; a key is served by the first point at or after
+// vnodes virtual points; a key is served by the first point at or after
 // its hash, walking clockwise. Membership is static for the router's
 // lifetime — health is a filter applied at lookup time, not a ring rebuild,
 // so a backend that flaps in and out of health keeps exactly the same key
 // ownership and the caches it warmed stay warm.
+//
+// Virtual points are hashed by backend *address*, not list position:
+// "http://host:8080#17" rather than "b3#17". Position-derived points would
+// remap every key in the fleet whenever the -backends list is reordered or
+// a node is inserted mid-list, silently destroying cache locality on a
+// purely cosmetic config edit; address-derived points pin each backend's
+// ring territory to the backend itself, so a reordered list preserves key
+// ownership exactly and an added or removed node only moves the keys it
+// gains or loses.
 type ring struct {
 	points []ringPoint
 	n      int // backend count
@@ -31,17 +40,25 @@ func hash64(s string) uint64 {
 	return binary.BigEndian.Uint64(sum[:8])
 }
 
-func newRing(n, replicas int) *ring {
-	if replicas < 1 {
-		replicas = 1
+// newRing places vnodes virtual points per backend address. Addresses
+// should be unique (router.New enforces it); ties between identical
+// addresses break by index only to keep construction deterministic.
+func newRing(backends []string, vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = 1
 	}
-	r := &ring{points: make([]ringPoint, 0, n*replicas), n: n}
-	for idx := 0; idx < n; idx++ {
-		for v := 0; v < replicas; v++ {
-			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("b%d#%d", idx, v)), idx: idx})
+	r := &ring{points: make([]ringPoint, 0, len(backends)*vnodes), n: len(backends)}
+	for idx, addr := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", addr, v)), idx: idx})
 		}
 	}
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].idx < r.points[j].idx
+	})
 	return r
 }
 
@@ -49,7 +66,9 @@ func newRing(n, replicas int) *ring {
 // preference order: the owner first, then each successive fallback met
 // walking clockwise. The order is what retry-with-rehash iterates — trying
 // candidates in walk order, skipping unhealthy or already-failed ones,
-// reproduces "rehash excluding the failed node" without mutating the ring.
+// reproduces "rehash excluding the failed node" without mutating the ring —
+// and what replication fans along: the owner's result is copied to the
+// next Replicas-1 distinct backends in exactly this order.
 func (r *ring) walk(key string) []int {
 	if len(r.points) == 0 {
 		return nil
@@ -57,7 +76,10 @@ func (r *ring) walk(key string) []int {
 	h := hash64(key)
 	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	order := make([]int, 0, r.n)
-	seen := make(map[int]bool, r.n)
+	// A flat seen-slice instead of a map: walk runs on every submit (and
+	// now also per read-repair probe), and a map allocation plus hashing
+	// per lookup is measurable noise next to indexing a few bytes.
+	seen := make([]bool, r.n)
 	for i := 0; i < len(r.points) && len(order) < r.n; i++ {
 		p := r.points[(start+i)%len(r.points)]
 		if !seen[p.idx] {

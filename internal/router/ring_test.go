@@ -5,10 +5,19 @@ import (
 	"testing"
 )
 
+// testAddrs fabricates n distinct backend addresses.
+func testAddrs(n int) []string {
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return addrs
+}
+
 // TestRingWalkCoversAllBackends: every key's walk order is a permutation of
 // all backends — the retry-with-rehash loop can always reach every node.
 func TestRingWalkCoversAllBackends(t *testing.T) {
-	r := newRing(5, 64)
+	r := newRing(testAddrs(5), 64)
 	for i := 0; i < 100; i++ {
 		order := r.walk(fmt.Sprintf("key-%d", i))
 		if len(order) != 5 {
@@ -27,7 +36,7 @@ func TestRingWalkCoversAllBackends(t *testing.T) {
 // TestRingStability: the same key always walks the same order, and the
 // owner assignment is independent of lookup history.
 func TestRingStability(t *testing.T) {
-	a, b := newRing(4, 64), newRing(4, 64)
+	a, b := newRing(testAddrs(4), 64), newRing(testAddrs(4), 64)
 	for i := 0; i < 50; i++ {
 		key := fmt.Sprintf("job-%d", i)
 		wa, wb := a.walk(key), b.walk(key)
@@ -39,12 +48,64 @@ func TestRingStability(t *testing.T) {
 	}
 }
 
+// TestRingReorderPreservesOwnership is the regression test for the
+// positional-vnode bug: virtual nodes are hashed by backend address, so
+// reordering the -backends list (a cosmetic config edit) must keep every
+// key's walk order pointing at the same *addresses* — a positionally
+// hashed ring remaps essentially every key and silently destroys the
+// fleet's cache locality on restart.
+func TestRingReorderPreservesOwnership(t *testing.T) {
+	addrs := testAddrs(5)
+	reordered := []string{addrs[3], addrs[0], addrs[4], addrs[2], addrs[1]}
+	a, b := newRing(addrs, 64), newRing(reordered, 64)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		wa, wb := a.walk(key), b.walk(key)
+		if len(wa) != len(wb) {
+			t.Fatalf("walk(%q) lengths differ: %d vs %d", key, len(wa), len(wb))
+		}
+		for j := range wa {
+			if addrs[wa[j]] != reordered[wb[j]] {
+				t.Fatalf("walk(%q)[%d]: original ring serves %s, reordered ring %s",
+					key, j, addrs[wa[j]], reordered[wb[j]])
+			}
+		}
+	}
+}
+
+// TestRingMembershipEditMovesOnlyLostKeys: removing one backend must remap
+// only the keys it owned — every key owned by a surviving address keeps
+// its owner. (Positional hashing shifted every index after the removed one
+// and remapped their whole territories.)
+func TestRingMembershipEditMovesOnlyLostKeys(t *testing.T) {
+	addrs := testAddrs(5)
+	shrunk := append(append([]string{}, addrs[:2]...), addrs[3:]...) // drop addrs[2]
+	a, b := newRing(addrs, 64), newRing(shrunk, 64)
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		ownerA := addrs[a.walk(key)[0]]
+		ownerB := shrunk[b.walk(key)[0]]
+		if ownerA == addrs[2] {
+			moved++
+			continue // its owner left; any new owner is correct
+		}
+		if ownerA != ownerB {
+			t.Fatalf("walk(%q): owner moved %s -> %s though %s survived", key, ownerA, ownerB, ownerA)
+		}
+	}
+	if moved == 0 || moved == keys {
+		t.Fatalf("dropped backend owned %d/%d keys; expected a ~1/5 share", moved, keys)
+	}
+}
+
 // TestRingDistribution: with enough virtual nodes no backend owns a wildly
 // disproportionate key share (each of 3 backends gets >=15% of 3000 keys;
 // a broken ring typically sends ~everything to one node).
 func TestRingDistribution(t *testing.T) {
 	const backends, keys = 3, 3000
-	r := newRing(backends, 64)
+	r := newRing(testAddrs(backends), 64)
 	counts := make([]int, backends)
 	for i := 0; i < keys; i++ {
 		counts[r.walk(fmt.Sprintf("%024x", i*7919))[0]]++
@@ -58,8 +119,23 @@ func TestRingDistribution(t *testing.T) {
 
 // TestRingSingleBackend: a one-node ring still resolves every key.
 func TestRingSingleBackend(t *testing.T) {
-	r := newRing(1, 8)
+	r := newRing(testAddrs(1), 8)
 	if got := r.walk("anything"); len(got) != 1 || got[0] != 0 {
 		t.Fatalf("walk on single-backend ring: %v", got)
+	}
+}
+
+// BenchmarkRingWalk pins the submit-path lookup cost (the seen-set is a
+// flat slice, not a per-call map).
+func BenchmarkRingWalk(b *testing.B) {
+	r := newRing(testAddrs(8), 64)
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%024x", i*7919)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.walk(keys[i%len(keys)])
 	}
 }

@@ -53,9 +53,20 @@ type Config struct {
 	// identity: backend i is named "b<i>" in composite job ids, so keep the
 	// list stable across router restarts or outstanding ids go stale.
 	Backends []string
-	// Replicas is the virtual-node count per backend on the hash ring
-	// (default 64); more replicas smooth key distribution.
+	// Vnodes is the virtual-node count per backend on the hash ring
+	// (default 64); more virtual nodes smooth key distribution.
+	Vnodes int
+	// Replicas is the number of backends holding a copy of each finished
+	// result: the ring owner plus Replicas-1 healthy successors in walk
+	// order (default 2). After a job completes on its owner the router
+	// fans the result out asynchronously, and on submit a cold owner is
+	// read-repaired from its successors before work is forwarded — so a
+	// dead or restarted owner's results are served from replicas instead
+	// of recomputed. 1 disables replication and read-repair.
 	Replicas int
+	// ReplicaPoll is how often the replication watcher polls a submitted
+	// job for completion before fanning its result out (default 250ms).
+	ReplicaPoll time.Duration
 	// Inflight caps concurrently proxied requests per backend (default 64),
 	// enforced with an imp.Gate per backend. Event streams hold a slot for
 	// their lifetime.
@@ -73,8 +84,19 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = 64
+	}
 	if c.Replicas <= 0 {
-		c.Replicas = 64
+		c.Replicas = 2
+	}
+	if c.Replicas > len(c.Backends) {
+		// More copies than backends is meaningless; clamping keeps the
+		// stats and the confirmed-replication bookkeeping honest.
+		c.Replicas = len(c.Backends)
+	}
+	if c.ReplicaPoll <= 0 {
+		c.ReplicaPoll = 250 * time.Millisecond
 	}
 	if c.Inflight <= 0 {
 		c.Inflight = 64
@@ -104,6 +126,16 @@ type Stats struct {
 	Submitted uint64 `json:"submitted"`
 	Rehashes  uint64 `json:"rehashes"`
 	Failed    uint64 `json:"failed"`
+	// Replication counters. ReplicaPuts counts result copies written to
+	// ring successors; ReplicaErrors counts replication attempts that
+	// failed against some backend. ReadRepairs counts submissions whose
+	// cold target was refilled from a successor's replica before the work
+	// was forwarded; RepairMisses counts submissions where the target and
+	// every probed successor missed — i.e. genuinely new work.
+	ReplicaPuts   uint64 `json:"replica_puts"`
+	ReplicaErrors uint64 `json:"replica_errors"`
+	ReadRepairs   uint64 `json:"read_repairs"`
+	RepairMisses  uint64 `json:"repair_misses"`
 	// Backends carries per-backend routing counters plus, when reachable,
 	// each backend's own service stats.
 	Backends []BackendStats `json:"per_backend"`
@@ -120,8 +152,28 @@ type Router struct {
 	rehashes  atomic.Uint64
 	failed    atomic.Uint64
 
-	stopHealth context.CancelFunc
-	wg         sync.WaitGroup
+	replicaPuts   atomic.Uint64
+	replicaErrors atomic.Uint64
+	readRepairs   atomic.Uint64
+	repairMisses  atomic.Uint64
+
+	// replMu guards the replication bookkeeping: replWatch is the set of
+	// result keys with a live replication watcher (one watcher per key,
+	// however many duplicate submissions arrive while it runs),
+	// replConfirmed the keys verified fully replicated under the current
+	// health picture (cleared on any health transition), and replClosed
+	// stops new watchers once Close begins waiting for the old ones.
+	replMu        sync.Mutex
+	replWatch     map[string]bool
+	replConfirmed map[string]bool
+	replClosed    bool
+	// healthEpoch advances on every healthy-set transition; confirmations
+	// verified under an older epoch are discarded (see markConfirmed).
+	healthEpoch atomic.Uint64
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
 }
 
 // New builds a Router over cfg.Backends and starts its health loop; Close
@@ -132,38 +184,62 @@ func New(cfg Config) (*Router, error) {
 		return nil, errors.New("router: no backends configured")
 	}
 	cfg = cfg.withDefaults()
-	rt := &Router{cfg: cfg, hc: cfg.Client, ring: newRing(len(cfg.Backends), cfg.Replicas)}
+	rt := &Router{cfg: cfg, hc: cfg.Client, replWatch: make(map[string]bool), replConfirmed: make(map[string]bool)}
+	addrs := make([]string, 0, len(cfg.Backends))
+	seen := make(map[string]int, len(cfg.Backends))
 	for i, base := range cfg.Backends {
 		u, err := url.Parse(base)
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("router: backend %d: bad URL %q", i, base)
 		}
+		addr := strings.TrimRight(base, "/")
+		if j, dup := seen[addr]; dup {
+			// Duplicates would stack identical virtual points (the ring
+			// hashes by address) and split one backend's identity across
+			// two names; reject rather than route ambiguously.
+			return nil, fmt.Errorf("router: backend %d: %q duplicates backend %d", i, base, j)
+		}
+		seen[addr] = i
+		addrs = append(addrs, addr)
 		rt.backends = append(rt.backends, &backend{
 			name:    fmt.Sprintf("b%d", i),
-			base:    strings.TrimRight(base, "/"),
+			base:    addr,
 			gate:    imp.NewGate(cfg.Inflight),
 			healthy: true,
 		})
 	}
+	rt.ring = newRing(addrs, cfg.Vnodes)
 	ctx, cancel := context.WithCancel(context.Background())
-	rt.stopHealth = cancel
+	rt.baseCtx, rt.stop = ctx, cancel
 	rt.wg.Add(1)
 	go rt.healthLoop(ctx)
 	return rt, nil
 }
 
-// Close stops the health loop.
+// Close stops the health loop and any in-flight replication watchers.
 func (rt *Router) Close() {
-	rt.stopHealth()
+	// Refuse new watchers before waiting: a submit handler still unwinding
+	// during shutdown must not wg.Add concurrently with wg.Wait.
+	rt.replMu.Lock()
+	rt.replClosed = true
+	rt.replMu.Unlock()
+	rt.stop()
 	rt.wg.Wait()
 }
 
 // healthLoop probes every backend each interval, evicting and readmitting
-// ring members as /healthz answers change.
+// ring members as /healthz answers change. A change in the healthy set
+// also wipes the confirmed-replicated key set: a readmitted backend may
+// have restarted cold, so previously "fully replicated" keys must be
+// re-verified by their next watcher.
 func (rt *Router) healthLoop(ctx context.Context) {
 	defer rt.wg.Done()
 	tick := time.NewTicker(rt.cfg.HealthInterval)
 	defer tick.Stop()
+	prev := make([]bool, len(rt.backends))
+	for i, b := range rt.backends {
+		prev[i] = b.isHealthy()
+	}
 	for {
 		var wg sync.WaitGroup
 		for _, b := range rt.backends {
@@ -174,6 +250,16 @@ func (rt *Router) healthLoop(ctx context.Context) {
 			}(b)
 		}
 		wg.Wait()
+		changed := false
+		for i, b := range rt.backends {
+			if h := b.isHealthy(); h != prev[i] {
+				prev[i] = h
+				changed = true
+			}
+		}
+		if changed {
+			rt.invalidateConfirmed()
+		}
 		select {
 		case <-ctx.Done():
 			return
@@ -241,6 +327,11 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	candidates := rt.candidates(key)
+	// Before forwarding, make sure the backend about to receive this key
+	// holds its result if any replica does: a cold owner (restarted, or
+	// readmitted after its keys were served elsewhere) answers from its
+	// refilled store instead of recomputing.
+	rt.readRepair(r.Context(), key, candidates)
 	budget := rt.cfg.Retries + 1
 	var lastErr error
 	for attempt, idx := range candidates {
@@ -278,6 +369,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s: decoding status: %w", b.name, err))
 			return
 		}
+		rt.scheduleReplication(key, b, st)
 		st.ID = b.name + "." + st.ID
 		b.submits.Add(1)
 		rt.submitted.Add(1)
@@ -629,11 +721,15 @@ func (rt *Router) handlePassthrough(path string) http.HandlerFunc {
 // is reporting.
 func (rt *Router) Stats(ctx context.Context) Stats {
 	st := Stats{
-		BackendCount: len(rt.backends),
-		Submitted:    rt.submitted.Load(),
-		Rehashes:     rt.rehashes.Load(),
-		Failed:       rt.failed.Load(),
-		Backends:     make([]BackendStats, len(rt.backends)),
+		BackendCount:  len(rt.backends),
+		Submitted:     rt.submitted.Load(),
+		Rehashes:      rt.rehashes.Load(),
+		Failed:        rt.failed.Load(),
+		ReplicaPuts:   rt.replicaPuts.Load(),
+		ReplicaErrors: rt.replicaErrors.Load(),
+		ReadRepairs:   rt.readRepairs.Load(),
+		RepairMisses:  rt.repairMisses.Load(),
+		Backends:      make([]BackendStats, len(rt.backends)),
 	}
 	var wg sync.WaitGroup
 	for i, b := range rt.backends {

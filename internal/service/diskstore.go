@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// diskStore layers a persistent directory under the in-memory LRU,
+// mirroring the trace cache's on-disk store (internal/progcache): one
+// key-named file per result, an integrity envelope (size + CRC-32), writes
+// via temp-file-and-rename so concurrent processes never observe partial
+// entries, and corrupt-entry eviction — a file that fails its check is
+// removed and counted, never served and never fatal.
+//
+// Memory is the fast path; a get that misses it falls through to disk and
+// promotes the hit back into the LRU. Puts write through best-effort: a
+// full or read-only disk must not fail the job whose result is being
+// published (the in-memory layer still serves it for the process lifetime).
+// The directory itself is unbounded, like the trace cache — results are
+// small JSON documents and the operator owns the directory.
+type diskStore struct {
+	mem *memStore
+	dir string
+
+	mu       sync.Mutex
+	diskHits uint64
+	diskPuts uint64
+	corrupt  uint64
+}
+
+func newDiskStore(max int, dir string) *diskStore {
+	return &diskStore{mem: newMemStore(max), dir: dir}
+}
+
+func (d *diskStore) path(key string) string {
+	// Keys are validated hex (jobkey.ValidKey) before they reach the store,
+	// so they are safe as file names.
+	return filepath.Join(d.dir, key+".impresult")
+}
+
+func (d *diskStore) get(key string) ([]byte, bool) {
+	if data, ok := d.mem.get(key); ok {
+		return data, true
+	}
+	path := d.path(key)
+	data, err := readResultFile(path)
+	switch {
+	case err == nil:
+		d.mem.promote(key, data)
+		d.mu.Lock()
+		d.diskHits++
+		d.mu.Unlock()
+		return data, true
+	case errors.Is(err, errCorruptResult):
+		// Corrupt or truncated: evict it on the spot so the poisoned entry
+		// cannot greet the next read (or the next process), and treat the
+		// lookup as a miss — the result is recomputed or read-repaired,
+		// never failed.
+		_ = os.Remove(path)
+		d.mu.Lock()
+		d.corrupt++
+		d.mu.Unlock()
+		return nil, false
+	default:
+		// Transient read trouble (fd exhaustion, EIO, permissions) is a
+		// miss, not corruption — deleting a CRC-intact file over a passing
+		// error would permanently destroy a valid result.
+		return nil, false
+	}
+}
+
+func (d *diskStore) put(key string, data []byte) {
+	d.mem.put(key, data)
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return
+	}
+	if err := writeResultFile(d.dir, d.path(key), data); err == nil {
+		d.mu.Lock()
+		d.diskPuts++
+		d.mu.Unlock()
+	}
+}
+
+func (d *diskStore) stats() storeStats {
+	st := d.mem.stats()
+	d.mu.Lock()
+	st.Hits += d.diskHits // disk hits bypass the memory counter
+	st.DiskHits, st.DiskPuts, st.Corrupt = d.diskHits, d.diskPuts, d.corrupt
+	d.mu.Unlock()
+	return st
+}
+
+// resultMagic opens every on-disk result entry; bump the trailing version
+// digits when the envelope changes so old files read as corrupt, not as
+// garbage payloads.
+var resultMagic = [8]byte{'i', 'm', 'p', 'r', 'e', 's', '0', '1'}
+
+var errCorruptResult = errors.New("service: corrupt result file")
+
+// writeResultFile persists data as magic | uint64 payload length | payload
+// | CRC-32 (IEEE) of the payload, through a temp file renamed into place.
+func writeResultFile(dir, path string, data []byte) error {
+	f, err := os.CreateTemp(dir, ".impresult-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	var header [16]byte
+	copy(header[:8], resultMagic[:])
+	binary.BigEndian.PutUint64(header[8:], uint64(len(data)))
+	var footer [4]byte
+	binary.BigEndian.PutUint32(footer[:], crc32.ChecksumIEEE(data))
+	_, err = f.Write(header[:])
+	if err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		_, err = f.Write(footer[:])
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+	}
+	return err
+}
+
+// readResultFile loads and verifies one entry; a missing file surfaces as
+// os.ErrNotExist, anything malformed as errCorruptResult.
+func readResultFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 16+4 || [8]byte(b[:8]) != resultMagic {
+		return nil, errCorruptResult
+	}
+	n := binary.BigEndian.Uint64(b[8:16])
+	if uint64(len(b)) != 16+n+4 {
+		return nil, errCorruptResult
+	}
+	data := b[16 : 16+n]
+	if crc32.ChecksumIEEE(data) != binary.BigEndian.Uint32(b[16+n:]) {
+		return nil, errCorruptResult
+	}
+	return data, nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -20,10 +21,20 @@ import (
 //	GET    /v1/jobs/{id}/result canonical result bytes (409 until done)
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (?from=<seq> resumes)
 //	POST   /v1/jobs/{id}/cancel request cancellation
+//	GET    /v1/results/{key}    result store read by content key (404 on miss)
+//	PUT    /v1/results/{key}    result store write (replica fan-out / read-repair)
 //	GET    /v1/workloads        available workload names
 //	GET    /v1/experiments      available experiment ids
 //	GET    /v1/stats            service counters
 //	GET    /healthz             liveness
+//
+// The /v1/results surface is the internal replication protocol: the
+// improuter front-end uses PUT to fan a finished result out to ring
+// successors and GET to read-repair a cold owner from its peers. It trusts
+// its caller — the bytes under a key are assumed to be the canonical result
+// for it (results are content-addressed, so honest writers can never
+// disagree) — so deployments exposing impserve directly to untrusted
+// clients should keep it unreachable from them.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -32,6 +43,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleStoreGet)
+	mux.HandleFunc("PUT /v1/results/{key}", s.handleStorePut)
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, imp.Workloads())
 	})
@@ -109,6 +122,42 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// maxResultBytes bounds replica-write bodies; result documents are JSON
+// tables or sweep results, far below this, but the bound keeps an errant
+// peer from exhausting memory.
+const maxResultBytes = 64 << 20
+
+func (s *Service) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.StoredResult(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no stored result for key %q", r.PathValue("key")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Service) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxResultBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("reading result body: %w", err))
+		return
+	}
+	if err := s.StoreResult(key, data); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -30,6 +30,7 @@ import (
 
 	"github.com/impsim/imp"
 	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/jobkey"
 )
 
 // Config parameterizes a Service. Zero values select the defaults.
@@ -45,8 +46,15 @@ type Config struct {
 	// JobTimeout bounds one job's execution (default 15m); a spec's
 	// TimeoutSec overrides it per job, still capped by JobTimeout.
 	JobTimeout time.Duration
-	// StoreEntries bounds the result cache (default 256 results).
+	// StoreEntries bounds the in-memory result cache (default 256 results).
 	StoreEntries int
+	// ResultsDir, when set, backs the result store with a persistent
+	// directory (one CRC-checked file per key, like the trace cache), so a
+	// restarted service answers previously computed results without
+	// recompute. Empty keeps the store memory-only. Disk writes are
+	// best-effort: an unusable directory degrades to memory-only behavior
+	// rather than failing jobs.
+	ResultsDir string
 	// MaxJobs bounds retained job records; the oldest finished jobs are
 	// evicted beyond it (default 1024). Their results stay in the store.
 	MaxJobs int
@@ -100,15 +108,20 @@ type Stats struct {
 	StoreHits uint64 `json:"store_hits"`
 	StorePuts uint64 `json:"store_puts"`
 	StoreLen  int    `json:"store_entries"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
+	// Disk-layer counters; all zero when ResultsDir is unset. StoreCorrupt
+	// counts on-disk entries evicted for failing their integrity check.
+	StoreDiskHits uint64 `json:"store_disk_hits,omitempty"`
+	StoreDiskPuts uint64 `json:"store_disk_puts,omitempty"`
+	StoreCorrupt  uint64 `json:"store_corrupt,omitempty"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
 }
 
 // Service owns the job queue, the executors and the result store.
 type Service struct {
 	cfg   Config
 	gate  imp.Gate
-	store *store
+	store resultStore
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -132,10 +145,16 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	var rs resultStore
+	if cfg.ResultsDir != "" {
+		rs = newDiskStore(cfg.StoreEntries, cfg.ResultsDir)
+	} else {
+		rs = newMemStore(cfg.StoreEntries)
+	}
 	s := &Service{
 		cfg:        cfg,
 		gate:       imp.NewGate(cfg.Parallelism),
-		store:      newStore(cfg.StoreEntries),
+		store:      rs,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*Job),
@@ -267,6 +286,27 @@ func (s *Service) Submit(spec api.JobSpec) (api.JobStatus, error) {
 	}
 
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return api.JobStatus{}, ErrClosed
+	}
+	if live, ok := s.byKey[key]; ok {
+		s.deduped++
+		s.mu.Unlock()
+		st := live.Status()
+		st.Deduped = true
+		return st, nil
+	}
+	s.mu.Unlock()
+
+	// The store lookup runs outside s.mu: with a results dir it can touch
+	// disk, and every other API path would otherwise queue behind that
+	// read. The cost is a benign race — a concurrent duplicate submission
+	// can register a live job while we read — so re-check the singleflight
+	// index after relocking before committing either way.
+	data, inStore := s.store.get(key)
+
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return api.JobStatus{}, ErrClosed
@@ -277,7 +317,7 @@ func (s *Service) Submit(spec api.JobSpec) (api.JobStatus, error) {
 		st.Deduped = true
 		return st, nil
 	}
-	if data, ok := s.store.get(key); ok {
+	if inStore {
 		s.cached++
 		j := s.newJobLocked(key, spec)
 		now := time.Now()
@@ -392,15 +432,41 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
-	hits, puts, entries := s.store.stats()
+	ss := s.store.stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
 		Submitted: uint64(s.nextID), Executed: s.executed,
 		Deduped: s.deduped, Cached: s.cached,
-		StoreHits: hits, StorePuts: puts, StoreLen: entries,
+		StoreHits: ss.Hits, StorePuts: ss.Puts, StoreLen: ss.Entries,
+		StoreDiskHits: ss.DiskHits, StoreDiskPuts: ss.DiskPuts, StoreCorrupt: ss.Corrupt,
 		Queued: len(s.queue), Running: s.running,
 	}
+}
+
+// StoredResult reads the result store directly by content key — the peer
+// side of the replication surface (GET /v1/results/{key}). A malformed key
+// is simply a miss.
+func (s *Service) StoredResult(key string) ([]byte, bool) {
+	if !jobkey.ValidKey(key) {
+		return nil, false
+	}
+	return s.store.get(key)
+}
+
+// StoreResult publishes a finished result under key without running
+// anything — the replica-write side of the replication surface
+// (PUT /v1/results/{key}). Results are content-addressed and byte-identical
+// across the fleet, so an overwrite is always idempotent; the caller hands
+// over ownership of data. Only the key's shape is validated: the bytes are
+// trusted to be the canonical result for it, which is why the endpoint is
+// internal (router-to-backend), not public.
+func (s *Service) StoreResult(key string, data []byte) error {
+	if !jobkey.ValidKey(key) {
+		return fmt.Errorf("service: malformed result key %q", key)
+	}
+	s.store.put(key, data)
+	return nil
 }
 
 // Close stops accepting work and waits for the queue to drain. If ctx ends

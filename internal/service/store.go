@@ -1,6 +1,7 @@
 package service
 
 import (
+	"container/list"
 	"sync"
 
 	"github.com/impsim/imp/api"
@@ -15,67 +16,106 @@ func ResultKey(spec api.JobSpec) (string, error) {
 	return jobkey.ResultKey(spec)
 }
 
-// store is the in-memory content-addressed result cache: key -> canonical
-// result bytes, LRU-bounded. Completed jobs publish here; submissions whose
-// key is present are answered without executing anything. (In-flight
-// deduplication — singleflight on the key — lives in the Service's byKey
-// index; the store only holds finished results.)
-type store struct {
+// resultStore is the seam between the Service and its content-addressed
+// result cache: key -> canonical result bytes. Completed jobs publish here;
+// submissions whose key is present are answered without executing anything,
+// and the replication surface (PUT/GET /v1/results/{key}) reads and writes
+// it directly. Implementations: memStore (LRU, in-process only) and
+// diskStore (memStore over a persistent directory, so a restarted backend
+// comes back warm). All methods are safe for concurrent use; callers must
+// treat returned and handed-in byte slices as immutable — they are shared
+// across requests and replicas.
+type resultStore interface {
+	get(key string) ([]byte, bool)
+	put(key string, data []byte)
+	stats() storeStats
+}
+
+// storeStats snapshots one store's counters. The disk fields stay zero for
+// the pure in-memory store.
+type storeStats struct {
+	Hits    uint64 // gets served, memory or disk
+	Puts    uint64 // results published via put
+	Entries int    // in-memory entries
+	// DiskHits counts gets that missed memory and were served (and
+	// re-promoted) from the disk layer; DiskPuts counts results persisted;
+	// Corrupt counts on-disk entries that failed their integrity check and
+	// were evicted rather than served.
+	DiskHits uint64
+	DiskPuts uint64
+	Corrupt  uint64
+}
+
+// memStore is the in-memory LRU layer. Eviction is O(1): entries live on an
+// intrusive recency list (front = most recently used) and the map indexes
+// list elements, so evicting beyond the cap pops the back of the list
+// instead of scanning the whole map under the lock (the store grows with
+// replication, and a full scan per put is quadratic under churn).
+type memStore struct {
 	mu      sync.Mutex
-	entries map[string]*storeEntry
 	max     int
-	tick    uint64
+	ll      *list.List // of *memEntry, most recently used first
+	entries map[string]*list.Element
 	hits    uint64
 	puts    uint64
 }
 
-type storeEntry struct {
-	data    []byte
-	lastUse uint64
+type memEntry struct {
+	key  string
+	data []byte
 }
 
-func newStore(max int) *store {
+func newMemStore(max int) *memStore {
 	if max < 1 {
 		max = 1
 	}
-	return &store{entries: make(map[string]*storeEntry), max: max}
+	return &memStore{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
 }
 
-// get returns the cached result bytes for key. Callers must treat the
-// returned slice as read-only (it is shared across requests).
-func (s *store) get(key string) ([]byte, bool) {
+func (s *memStore) get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	el, ok := s.entries[key]
 	if !ok {
 		return nil, false
 	}
-	s.tick++
-	e.lastUse = s.tick
+	s.ll.MoveToFront(el)
 	s.hits++
-	return e.data, true
+	return el.Value.(*memEntry).data, true
 }
 
-func (s *store) put(key string, data []byte) {
+func (s *memStore) put(key string, data []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tick++
 	s.puts++
-	s.entries[key] = &storeEntry{data: data, lastUse: s.tick}
+	s.insertLocked(key, data)
+}
+
+// promote refreshes an entry without counting a put — the disk layer uses
+// it to pull disk hits back into memory, which is a cache movement, not a
+// new result.
+func (s *memStore) promote(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(key, data)
+}
+
+func (s *memStore) insertLocked(key string, data []byte) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*memEntry).data = data
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.ll.PushFront(&memEntry{key: key, data: data})
 	for len(s.entries) > s.max {
-		victim := ""
-		var use uint64
-		for k, e := range s.entries {
-			if victim == "" || e.lastUse < use {
-				victim, use = k, e.lastUse
-			}
-		}
-		delete(s.entries, victim)
+		back := s.ll.Back()
+		delete(s.entries, back.Value.(*memEntry).key)
+		s.ll.Remove(back)
 	}
 }
 
-func (s *store) stats() (hits, puts uint64, entries int) {
+func (s *memStore) stats() storeStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.puts, len(s.entries)
+	return storeStats{Hits: s.hits, Puts: s.puts, Entries: len(s.entries)}
 }

@@ -1,0 +1,294 @@
+package service
+
+// Unit tests for the result store layers: LRU semantics of the in-memory
+// store, round-trip/corruption behavior of the disk layer, the
+// /v1/results/{key} replication surface, and warm restart from disk.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testKey fabricates a well-formed result key (24 hex chars) from i.
+func testKey(i int) string { return fmt.Sprintf("%024x", i) }
+
+// TestStoreLRUEvictionOrder: eviction removes the least recently *used*
+// entry, with gets counting as use — not merely the oldest put.
+func TestStoreLRUEvictionOrder(t *testing.T) {
+	s := newMemStore(3)
+	for i := 0; i < 3; i++ {
+		s.put(testKey(i), []byte{byte(i)})
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	if _, ok := s.get(testKey(0)); !ok {
+		t.Fatal("key 0 missing before eviction")
+	}
+	s.put(testKey(3), []byte{3})
+	if _, ok := s.get(testKey(1)); ok {
+		t.Error("key 1 (least recently used) survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := s.get(testKey(i)); !ok {
+			t.Errorf("key %d evicted out of LRU order", i)
+		}
+	}
+	if st := s.stats(); st.Entries != 3 {
+		t.Errorf("entries = %d, want 3", st.Entries)
+	}
+}
+
+// TestStoreOverwriteDuplicatePut: re-putting a key replaces its bytes in
+// place — no duplicate entry, no spurious eviction.
+func TestStoreOverwriteDuplicatePut(t *testing.T) {
+	s := newMemStore(2)
+	s.put(testKey(0), []byte("v1"))
+	s.put(testKey(1), []byte("other"))
+	s.put(testKey(0), []byte("v2"))
+	if st := s.stats(); st.Entries != 2 || st.Puts != 3 {
+		t.Fatalf("after overwrite: %+v", st)
+	}
+	if data, ok := s.get(testKey(0)); !ok || !bytes.Equal(data, []byte("v2")) {
+		t.Errorf("overwritten key reads %q, want v2", data)
+	}
+	if _, ok := s.get(testKey(1)); !ok {
+		t.Error("overwrite evicted an unrelated key")
+	}
+}
+
+// TestDiskStoreRoundTrip: a put lands on disk and a *fresh* store over the
+// same directory serves it (counted as a disk hit and promoted to memory).
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d1 := newDiskStore(4, dir)
+	d1.put(testKey(7), []byte("payload"))
+	if st := d1.stats(); st.DiskPuts != 1 {
+		t.Fatalf("disk puts = %d, want 1: %+v", st.DiskPuts, st)
+	}
+
+	d2 := newDiskStore(4, dir)
+	data, ok := d2.get(testKey(7))
+	if !ok || !bytes.Equal(data, []byte("payload")) {
+		t.Fatalf("fresh store over same dir: ok=%v data=%q", ok, data)
+	}
+	st := d2.stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Errorf("first read not counted as disk hit: %+v", st)
+	}
+	// Second read is served from the promoted in-memory entry.
+	if _, ok := d2.get(testKey(7)); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := d2.stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Errorf("promotion did not serve the second read from memory: %+v", st)
+	}
+}
+
+// TestDiskStoreCorruptEviction mirrors progcache's corrupt-entry handling:
+// a flipped byte or truncated file reads as a miss, is counted in Corrupt,
+// and is removed so it cannot poison later reads.
+func TestDiskStoreCorruptEviction(t *testing.T) {
+	for name, corrupt := range map[string]func(path string) error{
+		"byte-flip": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			b[len(b)-7] ^= 0x40 // inside the payload/CRC envelope
+			return os.WriteFile(path, b, 0o644)
+		},
+		"truncation": func(path string) error {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(path, b[:len(b)/2], 0o644)
+		},
+		"bad-magic": func(path string) error {
+			return os.WriteFile(path, []byte("not a result file"), 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := newDiskStore(4, dir)
+			d.put(testKey(1), []byte("precious bytes"))
+			path := d.path(testKey(1))
+			if err := corrupt(path); err != nil {
+				t.Fatal(err)
+			}
+			fresh := newDiskStore(4, dir) // cold memory forces the disk read
+			if _, ok := fresh.get(testKey(1)); ok {
+				t.Fatal("corrupt entry was served")
+			}
+			if st := fresh.stats(); st.Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt file not evicted from disk: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreResultKeyValidation: only well-formed result keys reach the
+// store — anything else could become a hostile file name on disk.
+func TestStoreResultKeyValidation(t *testing.T) {
+	svc, _ := startService(t, Config{})
+	for _, bad := range []string{"", "short", strings.Repeat("g", 24), "../../../../etc/passwd", strings.Repeat("a", 25)} {
+		if err := svc.StoreResult(bad, []byte("x")); err == nil {
+			t.Errorf("StoreResult accepted malformed key %q", bad)
+		}
+		if _, ok := svc.StoredResult(bad); ok {
+			t.Errorf("StoredResult answered malformed key %q", bad)
+		}
+	}
+}
+
+// TestResultsEndpoints exercises the replication surface over HTTP: PUT
+// stores bytes a later GET returns verbatim, a missing key is 404, a
+// malformed key 400 — and a Submit whose spec keys to an injected result
+// is answered from the store without executing (the read-repair contract).
+func TestResultsEndpoints(t *testing.T) {
+	svc, c := startService(t, Config{})
+	ctx := context.Background()
+
+	spec := testSweepSpec()
+	key, err := ResultKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"results":"injected"}`)
+	if err := c.PutStoredResult(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.StoredResult(ctx, key)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("store round-trip over HTTP: %q, %v", got, err)
+	}
+
+	if _, err := c.StoredResult(ctx, testKey(42)); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("missing key not a 404: %v", err)
+	}
+	if err := c.PutStoredResult(ctx, "not-a-key", []byte("x")); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("malformed key not a 400: %v", err)
+	}
+
+	// The injected result satisfies a submission of the matching spec
+	// without any execution — exactly what a router read-repair relies on.
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached || st.State != "done" {
+		t.Fatalf("submission not served from the injected store entry: %+v", st)
+	}
+	res, err := c.Result(ctx, st.ID)
+	if err != nil || !bytes.Equal(res, payload) {
+		t.Fatalf("served result is not the injected bytes: %q, %v", res, err)
+	}
+	if stats := svc.Stats(); stats.Executed != 0 {
+		t.Errorf("store-served submission executed %d job(s)", stats.Executed)
+	}
+}
+
+// TestResultsPutTooLarge: replica writes beyond the bound are refused with
+// 413, not stored.
+func TestResultsPutTooLarge(t *testing.T) {
+	_, c := startService(t, Config{})
+	err := c.PutStoredResult(context.Background(), testKey(1), make([]byte, maxResultBytes+1))
+	if err == nil || !strings.Contains(err.Error(), "413") {
+		t.Fatalf("oversized put: %v", err)
+	}
+}
+
+// TestServiceRestartWarmFromDisk: a service restarted over the same
+// results dir answers a previously computed job from disk — zero
+// executions, byte-identical result, disk hit counted.
+func TestServiceRestartWarmFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	svc1, c1 := startService(t, Config{ResultsDir: dir})
+	ctx := context.Background()
+	_, want, err := c1.Run(ctx, testSweepSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc1.Stats(); st.StoreDiskPuts != 1 {
+		t.Fatalf("result not persisted: %+v", st)
+	}
+	closeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	svc1.Close(closeCtx)
+	cancel()
+
+	svc2, c2 := startService(t, Config{ResultsDir: dir})
+	st, err := c2.Submit(ctx, testSweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Cached || st.State != "done" {
+		t.Fatalf("restarted service did not answer from disk: %+v", st)
+	}
+	got, err := c2.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("disk-restored result diverges from the original")
+	}
+	if stats := svc2.Stats(); stats.Executed != 0 || stats.StoreDiskHits != 1 {
+		t.Errorf("restart-warm stats: %+v", stats)
+	}
+
+	// The disk layer is write-through: the restarted service's memory now
+	// holds the promoted entry, so a repeat submission skips disk too.
+	if st, err := c2.Submit(ctx, testSweepSpec()); err != nil || !st.Cached {
+		t.Fatalf("repeat submission after promotion: %+v, %v", st, err)
+	}
+	if stats := svc2.Stats(); stats.StoreDiskHits != 1 {
+		t.Errorf("repeat submission read disk again: %+v", stats)
+	}
+}
+
+// TestDiskStoreUnusableDirDegrades: an unwritable results dir must not
+// fail puts — the in-memory layer still serves the process.
+func TestDiskStoreUnusableDirDegrades(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores directory permissions")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(parent, 0o755) })
+	d := newDiskStore(4, filepath.Join(parent, "sub"))
+	d.put(testKey(3), []byte("kept in memory"))
+	if data, ok := d.get(testKey(3)); !ok || !bytes.Equal(data, []byte("kept in memory")) {
+		t.Fatalf("memory layer lost the result: ok=%v", ok)
+	}
+	if st := d.stats(); st.DiskPuts != 0 {
+		t.Errorf("disk puts counted against an unwritable dir: %+v", st)
+	}
+}
+
+// BenchmarkStoreChurn measures put-with-eviction under steady churn — the
+// regression this guards is the old full-map victim scan (O(n) per put,
+// quadratic under churn), replaced by the intrusive LRU list.
+func BenchmarkStoreChurn(b *testing.B) {
+	const maxEntries = 1024
+	s := newMemStore(maxEntries)
+	keys := make([]string, 4*maxEntries)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+	data := []byte("result bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.put(keys[i%len(keys)], data)
+		s.get(keys[(i*7)%len(keys)])
+	}
+}
