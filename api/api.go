@@ -163,3 +163,44 @@ type Event struct {
 type SweepResult struct {
 	Results []*imp.Result `json:"results"`
 }
+
+// Membership admin wire types (the improuter /v1/backends surface).
+//
+// The router's ring membership is dynamic: operators join a freshly started
+// impserve with POST /v1/backends and retire one with DELETE
+// /v1/backends/{name}. Joins warm the new member with the key ranges it
+// acquires before it enters the lookup path; graceful leaves hand the
+// departing member's stored results to their new ring owners first. These
+// types are the payloads of that surface, which Config.AdminToken gates
+// with a bearer token.
+
+// BackendInfo describes one current ring member.
+type BackendInfo struct {
+	// Name is the backend's lifetime-unique router name ("b2") — the prefix
+	// of every composite job id it mints. Names are never reused, even after
+	// the backend leaves.
+	Name string `json:"name"`
+	// URL is the backend's normalized base URL (its ring identity).
+	URL string `json:"url"`
+	// Healthy is the router's current health verdict for it.
+	Healthy bool `json:"healthy"`
+}
+
+// JoinBackendRequest asks the router to add one backend to the ring.
+type JoinBackendRequest struct {
+	// URL is the joining impserve's base URL ("http://host:port").
+	URL string `json:"url"`
+}
+
+// MembershipChange reports one applied join or leave.
+type MembershipChange struct {
+	// Backend is the member that joined or left.
+	Backend BackendInfo `json:"backend"`
+	// KeysMoved counts result copies bulk-transferred between backends by
+	// the change's hand-off (join warm-up or graceful-leave drain).
+	KeysMoved int `json:"keys_moved"`
+	// Backends is the member count after the change; TopologyVersion is the
+	// snapshot version the change published (matches /v1/stats).
+	Backends        int    `json:"backends"`
+	TopologyVersion uint64 `json:"topology_version"`
+}

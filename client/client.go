@@ -27,8 +27,9 @@ import (
 
 // Client talks to one impserve instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	adminToken string
 }
 
 // New returns a client for the service at base (e.g. "http://host:8080").
@@ -39,6 +40,59 @@ func New(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// SetAdminToken attaches "Authorization: Bearer <token>" to every request
+// this client sends. The improuter membership surface (/v1/backends)
+// requires it when the router was started with -admin-token; all other
+// endpoints ignore the header.
+func (c *Client) SetAdminToken(token string) {
+	c.adminToken = token
+}
+
+// Backends lists the router's current ring membership (GET /v1/backends).
+// Only meaningful against an improuter front-end.
+func (c *Client) Backends(ctx context.Context) ([]api.BackendInfo, error) {
+	var out []api.BackendInfo
+	err := c.doJSON(ctx, http.MethodGet, "/v1/backends", nil, &out)
+	return out, err
+}
+
+// AddBackend joins an impserve at base to the router's ring
+// (POST /v1/backends). The router warms the new member with the key ranges
+// it acquires before routing to it; the returned change reports the keys
+// moved and the published topology version.
+func (c *Client) AddBackend(ctx context.Context, base string) (api.MembershipChange, error) {
+	body, err := json.Marshal(api.JoinBackendRequest{URL: base})
+	if err != nil {
+		return api.MembershipChange{}, err
+	}
+	var change api.MembershipChange
+	err = c.doJSON(ctx, http.MethodPost, "/v1/backends", body, &change)
+	return change, err
+}
+
+// RemoveBackend retires ring member name (DELETE /v1/backends/{name}).
+// A graceful leave (force false) drains the member's stored results to
+// their new owners first and fails if it cannot be reached; force drops it
+// immediately, leaving recovery to replicas and read-repair.
+func (c *Client) RemoveBackend(ctx context.Context, name string, force bool) (api.MembershipChange, error) {
+	path := "/v1/backends/" + url.PathEscape(name)
+	if force {
+		path += "?force=true"
+	}
+	var change api.MembershipChange
+	err := c.doJSON(ctx, http.MethodDelete, path, nil, &change)
+	return change, err
+}
+
+// StoredKeys lists the result keys a backend's store holds
+// (GET /v1/results) — the inventory the router enumerates during
+// membership hand-off.
+func (c *Client) StoredKeys(ctx context.Context) ([]string, error) {
+	var out []string
+	err := c.doJSON(ctx, http.MethodGet, "/v1/results", nil, &out)
+	return out, err
 }
 
 // Submit sends spec; the returned status carries the job id, its result
@@ -222,6 +276,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.adminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.adminToken)
 	}
 	return c.hc.Do(req)
 }

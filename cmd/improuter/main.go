@@ -13,7 +13,15 @@
 //
 // Backends are health-checked on an interval, evicted from routing while
 // down and readmitted on recovery; submissions retry onto the next ring
-// candidate (excluding failed nodes) up to -retries times.
+// candidate (excluding failed nodes) up to -retries times (-retries 0
+// disables retries; the default -1 tries every remaining candidate).
+//
+// Ring membership is live: POST /v1/backends joins a running impserve
+// (warmed with the key ranges it acquires before it serves traffic),
+// DELETE /v1/backends/{name} retires one (gracefully draining its stored
+// results to their new owners; add ?force=true for a crashed node), and
+// GET /v1/backends lists the members. Set -admin-token to require
+// "Authorization: Bearer <token>" on that surface.
 //
 // Finished results are replicated: with -replicas R (default 2), each
 // result is copied asynchronously from its owner to the next R-1 healthy
@@ -52,14 +60,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", ":8090", "listen address")
-		backends = fs.String("backends", "", "comma-separated impserve base URLs (required; order is backend identity)")
+		backends = fs.String("backends", "", "comma-separated impserve base URLs (required; initial ring membership)")
 		vnodes   = fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
 		replicas = fs.Int("replicas", 2, "backends holding each result (owner + replicas-1 ring successors); 1 disables replication")
 		replPoll = fs.Duration("replica-poll", 250*time.Millisecond, "poll period while waiting for a job to finish before replicating its result")
 		inflight = fs.Int("inflight", 64, "max concurrently proxied requests per backend")
-		retries  = fs.Int("retries", 0, "extra backends tried per submit after the owner fails (0 = all remaining)")
+		retries  = fs.Int("retries", router.RetriesAll, "extra backends tried per submit after the owner fails (0 = none, -1 = all remaining)")
 		interval = fs.Duration("health-interval", 2*time.Second, "backend health probe period")
 		probeTO  = fs.Duration("health-timeout", time.Second, "single health probe timeout")
+		token    = fs.String("admin-token", "", "bearer token required on the /v1/backends membership surface (empty = open)")
 		drain    = fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight proxied requests")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -79,16 +88,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "improuter: -backends is required (comma-separated impserve URLs)")
 		return 2
 	}
+	// Explicit nonsense fails loudly here rather than silently becoming the
+	// library default: router.Config treats zero as "default" for these
+	// fields (an explicit zero is meaningless for any of them), so the flag
+	// layer is where "-vnodes 0" must be caught.
+	for _, bad := range []struct {
+		name string
+		val  int
+	}{{"vnodes", *vnodes}, {"replicas", *replicas}, {"inflight", *inflight}} {
+		if bad.val < 1 {
+			fmt.Fprintf(stderr, "improuter: -%s must be at least 1, got %d\n", bad.name, bad.val)
+			return 2
+		}
+	}
+	if *retries < -1 {
+		fmt.Fprintf(stderr, "improuter: -retries must be -1 (all remaining), 0 (none) or positive, got %d\n", *retries)
+		return 2
+	}
 	// -replicas used to mean virtual nodes (now -vnodes); an explicit value
-	// beyond the backend count is almost certainly a pre-rename start
+	// far beyond the backend count is almost certainly a pre-rename start
 	// script, and silently turning 64 vnodes into 64-way replication would
-	// be a nasty surprise — fail loudly instead.
+	// be a nasty surprise — fail loudly. A value only modestly above the
+	// *initial* count is legitimate now that membership is dynamic (start
+	// two backends, -replicas 3, join the third later): warn and continue,
+	// since the effective factor is clamped to the live member count anyway.
 	explicitReplicas := false
 	fs.Visit(func(f *flag.Flag) { explicitReplicas = explicitReplicas || f.Name == "replicas" })
 	if explicitReplicas && *replicas > len(urls) {
-		fmt.Fprintf(stderr, "improuter: -replicas %d exceeds the %d configured backend(s); "+
-			"it is the replication factor now — virtual nodes moved to -vnodes\n", *replicas, len(urls))
-		return 2
+		if *replicas > 8 {
+			fmt.Fprintf(stderr, "improuter: -replicas %d exceeds the %d configured backend(s); "+
+				"it is the replication factor now — virtual nodes moved to -vnodes\n", *replicas, len(urls))
+			return 2
+		}
+		fmt.Fprintf(stderr, "improuter: -replicas %d exceeds the %d initial backend(s); "+
+			"the effective factor is capped at the live member count until more join\n", *replicas, len(urls))
 	}
 
 	rt, err := router.New(router.Config{
@@ -100,6 +133,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Retries:        *retries,
 		HealthInterval: *interval,
 		HealthTimeout:  *probeTO,
+		AdminToken:     *token,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "improuter:", err)

@@ -170,3 +170,37 @@ func TestRouteAndGracefulShutdown(t *testing.T) {
 		t.Errorf("missing shutdown message; stdout: %s", out.String())
 	}
 }
+
+// TestNonsenseFlagValuesExitTwo: an explicit zero for a flag whose library
+// default hides behind zero must be rejected at the flag layer, not
+// silently become that default.
+func TestNonsenseFlagValuesExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-backends", "http://127.0.0.1:1", "-vnodes", "0"},
+		{"-backends", "http://127.0.0.1:1", "-replicas", "0"},
+		{"-backends", "http://127.0.0.1:1", "-inflight", "-3"},
+		{"-backends", "http://127.0.0.1:1", "-retries", "-2"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v exited %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestReplicasAboveInitialBackendsWarns: now that membership is dynamic, a
+// replication factor modestly above the *initial* backend count is a
+// legitimate scale-up plan — warn about the cap, do not die (only
+// vnodes-scale values like the legacy 64 still exit 2).
+func TestReplicasAboveInitialBackendsWarns(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // shut down as soon as the listener is up
+	var out, errb lockedBuffer
+	args := []string{"-addr", "127.0.0.1:0", "-backends", "http://127.0.0.1:1", "-replicas", "3"}
+	if code := run(ctx, args, &out, &errb); code != 0 {
+		t.Fatalf("-replicas 3 with 1 initial backend exited %d, want 0 (warn and run); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "capped at the live member count") {
+		t.Errorf("missing cap warning; stderr: %s", errb.String())
+	}
+}

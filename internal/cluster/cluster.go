@@ -30,18 +30,31 @@ type Backend struct {
 	Server *httptest.Server
 	// URL is Server.URL, the address registered with the router.
 	URL string
+	// Name is the router's lifetime-unique name for this backend ("b3").
+	// Startup backends are named by index; backends joined live via Add get
+	// the next never-reused number, which may not match their slice index.
+	Name string
+	// Removed marks a backend retired from the ring via Remove. Its entry
+	// stays in Backends so fleet-wide assertions (total executed points,
+	// per-backend stats) still see its counters.
+	Removed bool
 
 	cfg    service.Config // for Restart: same config, fresh process state
 	addr   string         // host:port, pinned so Restart rebinds it
 	killed bool
 }
 
-// Cluster is N backends behind one router.
+// Cluster is N backends behind one router. Membership is live: Add scales
+// the fleet up mid-test and Remove retires members, exercising the
+// router's join/leave hand-off exactly as an operator would via the admin
+// surface.
 type Cluster struct {
 	Backends []*Backend
 	Router   *router.Router
 	// Front is the router's loopback HTTP server; point clients here.
 	Front *httptest.Server
+
+	opt Options // for Add: new backends get the same service config
 }
 
 // Options tunes the fleet; zero values give each backend the service
@@ -61,7 +74,7 @@ func Start(n int, opt Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 backend, got %d", n)
 	}
-	c := &Cluster{}
+	c := &Cluster{opt: opt}
 	rcfg := opt.Router
 	for i := 0; i < n; i++ {
 		scfg := opt.Service
@@ -72,7 +85,8 @@ func Start(n int, opt Options) (*Cluster, error) {
 		srv := httptest.NewServer(svc.Handler())
 		c.Backends = append(c.Backends, &Backend{
 			Service: svc, Server: srv, URL: srv.URL,
-			cfg: scfg, addr: srv.Listener.Addr().String(),
+			Name: fmt.Sprintf("b%d", i),
+			cfg:  scfg, addr: srv.Listener.Addr().String(),
 		})
 		rcfg.Backends = append(rcfg.Backends, srv.URL)
 	}
@@ -108,6 +122,55 @@ func (c *Cluster) BackendClient(i int) *client.Client {
 	return client.New(c.Backends[i].URL, c.Backends[i].Server.Client())
 }
 
+// Add scales the fleet up by one: a fresh impserve is started with the
+// cluster's service config and joined to the router's ring live, key
+// hand-off included. It returns the new backend's index in Backends.
+func (c *Cluster) Add() (int, error) {
+	scfg := c.opt.Service
+	if c.opt.ResultsDir != "" {
+		scfg.ResultsDir = filepath.Join(c.opt.ResultsDir, fmt.Sprintf("add%d", len(c.Backends)))
+	}
+	svc := service.New(scfg)
+	srv := httptest.NewServer(svc.Handler())
+	change, err := c.Router.AddBackend(context.Background(), srv.URL)
+	if err != nil {
+		srv.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		svc.Close(ctx)
+		return 0, err
+	}
+	c.Backends = append(c.Backends, &Backend{
+		Service: svc, Server: srv, URL: srv.URL,
+		Name: change.Backend.Name,
+		cfg:  scfg, addr: srv.Listener.Addr().String(),
+	})
+	return len(c.Backends) - 1, nil
+}
+
+// Remove retires backend i from the ring: a graceful leave (force false)
+// drains its stored results to their new owners first, force drops it
+// immediately. The backend's process is then shut down, but its entry —
+// and so its counters — stays in Backends for fleet-wide assertions.
+func (c *Cluster) Remove(i int, force bool) error {
+	b := c.Backends[i]
+	if b.Removed {
+		return fmt.Errorf("cluster: backend %d already removed", i)
+	}
+	if _, err := c.Router.RemoveBackend(context.Background(), b.Name, force); err != nil {
+		return err
+	}
+	b.Removed = true
+	if !b.killed {
+		b.killed = true
+		b.Server.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		b.Service.Close(ctx)
+		cancel()
+	}
+	return nil
+}
+
 // Kill takes backend i down hard: active streams are severed mid-flight
 // (not drained), the listener stops, and any jobs it is still running are
 // canceled. Subsequent router traffic to it sees connection refused.
@@ -126,12 +189,16 @@ func (c *Cluster) Kill(i int) {
 
 // Restart brings a killed backend back on its original address with the
 // same service config — including any results dir — but fresh process
-// state, mimicking a real impserve restart. The router's membership is
-// static, so the revived backend is readmitted by the next health probe
-// and immediately owns its old keys again; with a results dir its store
-// answers them from disk.
+// state, mimicking a real impserve restart. The backend's ring membership
+// survived the kill (death is a health eviction, not a leave), so the
+// revived backend is readmitted by the next health probe and immediately
+// owns its old keys again; with a results dir its store answers them from
+// disk.
 func (c *Cluster) Restart(i int) error {
 	b := c.Backends[i]
+	if b.Removed {
+		return fmt.Errorf("cluster: backend %d was removed from the ring; Add a new one instead", i)
+	}
 	if !b.killed {
 		return fmt.Errorf("cluster: backend %d is not killed", i)
 	}

@@ -98,7 +98,14 @@ func (b *backend) acquire(ctx context.Context, wait time.Duration) (release func
 }
 
 // probe is one active health check: GET /healthz with a short deadline.
+// The attempt time is recorded up front, before the request is even built:
+// "when did the router last *try* to probe this backend" is the operator
+// question last_probe answers, and an early exit (bad URL, dead transport)
+// must not leave the timestamp frozen at the last success.
 func (b *backend) probe(ctx context.Context, hc *http.Client, timeout time.Duration) {
+	b.mu.Lock()
+	b.lastProbe = time.Now()
+	b.mu.Unlock()
 	pctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base+"/healthz", nil)
@@ -107,9 +114,6 @@ func (b *backend) probe(ctx context.Context, hc *http.Client, timeout time.Durat
 		return
 	}
 	resp, err := hc.Do(req)
-	b.mu.Lock()
-	b.lastProbe = time.Now()
-	b.mu.Unlock()
 	if err != nil {
 		b.markDown(err)
 		return
@@ -129,6 +133,9 @@ type BackendStats struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
 	LastErr string `json:"last_err,omitempty"`
+	// LastProbe is the RFC3339 time of the most recent health-probe
+	// *attempt* (success or failure); empty until the first probe fires.
+	LastProbe string `json:"last_probe,omitempty"`
 	// Submits counts jobs this backend accepted via the router; the
 	// locality tests assert on it (identical specs land on one backend).
 	Submits uint64 `json:"submits"`
@@ -148,11 +155,15 @@ type BackendStats struct {
 
 func (b *backend) stats() BackendStats {
 	b.mu.Lock()
-	healthy, lastErr := b.healthy, b.lastErr
+	healthy, lastErr, lastProbe := b.healthy, b.lastErr, b.lastProbe
 	b.mu.Unlock()
+	probed := ""
+	if !lastProbe.IsZero() {
+		probed = lastProbe.UTC().Format(time.RFC3339Nano)
+	}
 	return BackendStats{
 		Name: b.name, URL: b.base,
-		Healthy: healthy, LastErr: lastErr,
+		Healthy: healthy, LastErr: lastErr, LastProbe: probed,
 		Submits: b.submits.Load(), Proxied: b.proxied.Load(),
 		Errors: b.errors.Load(), Evicted: b.evictions.Load(), Readmits: b.readmits.Load(),
 		InFlight: b.inflight.Load(), ReplicaPuts: b.replicaPuts.Load(),

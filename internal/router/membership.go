@@ -1,0 +1,351 @@
+package router
+
+// Live ring membership. The ring is no longer fixed at startup: operators
+// join a freshly started impserve with POST /v1/backends and retire one
+// with DELETE /v1/backends/{name}, and the router rebuilds its topology
+// snapshot copy-on-write — build the next ring, move the key ranges that
+// change hands, then publish atomically. Because results are
+// content-addressed (identical bytes wherever they live), "moving a key
+// range" is a plain bulk copy over the existing PUT/GET /v1/results/{key}
+// protocol, with no consensus round and no version reconciliation:
+//
+//   - Join: before the new member enters the lookup path, every stored key
+//     whose new walk order places it on the joiner is copied in, so the
+//     first submission it owns is answered from its warmed store instead
+//     of recomputed. The copy is best-effort — a miss degrades to
+//     submit-time read-repair (the old owner is still next in walk order).
+//   - Graceful leave: the departing member's inventory is copied to each
+//     key's new owners first; if the member cannot even be enumerated the
+//     leave fails and the operator escalates to force.
+//   - Forced leave (?force=true): the member is dropped immediately —
+//     correct for a crashed or unreachable node — and its keys survive
+//     only as the replicas already fanned out, plus recomputation.
+//
+// Membership changes are serialized under memberMu; request traffic never
+// blocks on them (every lookup site reads the snapshot lock-free).
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/impsim/imp/api"
+)
+
+var (
+	errAlreadyMember  = errors.New("router: backend already a ring member")
+	errUnknownBackend = errors.New("router: no such backend")
+	errLastBackend    = errors.New("router: refusing to remove the last backend")
+	// errPrejoinProbe marks a join rejected because the candidate did not
+	// answer /healthz — admitting it would add a black hole to the ring.
+	errPrejoinProbe = errors.New("router: pre-join health check failed")
+)
+
+// Members lists the current ring membership.
+func (rt *Router) Members() []api.BackendInfo {
+	topo := rt.topo.Load()
+	out := make([]api.BackendInfo, len(topo.backends))
+	for i, b := range topo.backends {
+		out[i] = api.BackendInfo{Name: b.name, URL: b.base, Healthy: b.isHealthy()}
+	}
+	return out
+}
+
+// AddBackend joins one impserve to the ring: verify it answers /healthz,
+// warm it with the key ranges the new ring assigns it, then publish the
+// topology that routes to it. The joiner serves no traffic until the final
+// publish, so a half-warmed member is never consulted.
+func (rt *Router) AddBackend(ctx context.Context, base string) (api.MembershipChange, error) {
+	addr, err := normalizeBackendURL(base)
+	if err != nil {
+		return api.MembershipChange{}, fmt.Errorf("router: %w", err)
+	}
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.topo.Load()
+	if cur.byAddr(addr) != nil {
+		return api.MembershipChange{}, fmt.Errorf("%w: %q", errAlreadyMember, addr)
+	}
+	if err := rt.checkHealthz(ctx, addr); err != nil {
+		return api.MembershipChange{}, fmt.Errorf("%w: %q: %v", errPrejoinProbe, addr, err)
+	}
+	nb := rt.newBackend(addr)
+	members := append(append([]*backend(nil), cur.backends...), nb)
+	next := newTopology(cur.version+1, members, rt.cfg.Vnodes, rt.cfg.Replicas)
+	moved := rt.handoffJoin(ctx, cur, next, nb)
+	rt.topo.Store(next)
+	rt.joins.Add(1)
+	rt.handoffKeys.Add(uint64(moved))
+	// Every confirmed-replicated verdict was reached under the old walk
+	// order; successors may differ now, so re-verify on next submission.
+	rt.invalidateConfirmed()
+	return api.MembershipChange{
+		Backend:         api.BackendInfo{Name: nb.name, URL: nb.base, Healthy: true},
+		KeysMoved:       moved,
+		Backends:        len(next.backends),
+		TopologyVersion: next.version,
+	}, nil
+}
+
+// RemoveBackend retires one ring member by name. A graceful leave (force
+// false) first drains the member's stored results to their new owners and
+// fails if the member cannot be enumerated; force drops it immediately and
+// leaves recovery to the replicas and read-repair.
+func (rt *Router) RemoveBackend(ctx context.Context, name string, force bool) (api.MembershipChange, error) {
+	rt.memberMu.Lock()
+	defer rt.memberMu.Unlock()
+	cur := rt.topo.Load()
+	departing := cur.byName(name)
+	if departing == nil {
+		return api.MembershipChange{}, fmt.Errorf("%w: %q", errUnknownBackend, name)
+	}
+	if len(cur.backends) == 1 {
+		return api.MembershipChange{}, fmt.Errorf("%w (%q)", errLastBackend, name)
+	}
+	members := make([]*backend, 0, len(cur.backends)-1)
+	for _, b := range cur.backends {
+		if b != departing {
+			members = append(members, b)
+		}
+	}
+	next := newTopology(cur.version+1, members, rt.cfg.Vnodes, rt.cfg.Replicas)
+	moved := 0
+	if !force {
+		var err error
+		moved, err = rt.handoffLeave(ctx, next, departing)
+		if err != nil {
+			return api.MembershipChange{}, fmt.Errorf("router: graceful leave of %s: %w (retry with ?force=true to drop it without hand-off)", name, err)
+		}
+	}
+	rt.topo.Store(next)
+	rt.leaves.Add(1)
+	rt.handoffKeys.Add(uint64(moved))
+	rt.invalidateConfirmed()
+	return api.MembershipChange{
+		Backend:         api.BackendInfo{Name: departing.name, URL: departing.base, Healthy: departing.isHealthy()},
+		KeysMoved:       moved,
+		Backends:        len(next.backends),
+		TopologyVersion: next.version,
+	}, nil
+}
+
+// checkHealthz is the synchronous pre-join probe: one GET /healthz bounded
+// by the health timeout, requiring 200.
+func (rt *Router) checkHealthz(ctx context.Context, base string) error {
+	sctx, cancel := context.WithTimeout(ctx, rt.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// storeKeys fetches b's stored-result inventory (GET /v1/results).
+func (rt *Router) storeKeys(ctx context.Context, b *backend) ([]string, error) {
+	sctx, cancel := context.WithTimeout(ctx, rt.storeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, b.base+"/v1/results", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store keys %s: %s", b.name, resp.Status)
+	}
+	var keys []string
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&keys); err != nil {
+		return nil, fmt.Errorf("store keys %s: %w", b.name, err)
+	}
+	return keys, nil
+}
+
+// handoffJoin warms joiner with every key the next topology places on it
+// (owner or replica slot within the effective factor), copied from any
+// current holder — content addressing makes every holder's bytes
+// canonical, so "any" is safe. Returns the number of copies written.
+// Best-effort throughout: an unreachable holder or failed copy costs a
+// read-repair later, never the join.
+func (rt *Router) handoffJoin(ctx context.Context, cur, next *topology, joiner *backend) int {
+	// One holder per key is enough; later backends listing the same key do
+	// not displace the first (identical bytes either way).
+	holders := make(map[string]*backend)
+	for _, b := range cur.backends {
+		if !b.isHealthy() {
+			continue
+		}
+		keys, err := rt.storeKeys(ctx, b)
+		if err != nil {
+			continue
+		}
+		for _, key := range keys {
+			if _, ok := holders[key]; !ok {
+				holders[key] = b
+			}
+		}
+	}
+	moved := 0
+	for key, holder := range holders {
+		if !walkPlaces(next, key, joiner) {
+			continue
+		}
+		if ok, err := rt.storeHas(ctx, joiner, key); err == nil && ok {
+			continue // a rejoining node may still hold its old disk store
+		}
+		data, ok, err := rt.storeGet(ctx, holder, key)
+		if err != nil || !ok {
+			continue
+		}
+		if err := rt.storePut(ctx, joiner, key, data); err != nil {
+			continue
+		}
+		joiner.replicaPuts.Add(1)
+		moved++
+	}
+	return moved
+}
+
+// handoffLeave drains departing's stored results to each key's owners in
+// the next topology. Enumeration failure fails the (graceful) leave;
+// individual copies are best-effort — a key that cannot be placed anywhere
+// survives as whatever replicas already exist, or is recomputed.
+func (rt *Router) handoffLeave(ctx context.Context, next *topology, departing *backend) (int, error) {
+	keys, err := rt.storeKeys(ctx, departing)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, key := range keys {
+		order := next.walk(key)
+		n := next.replicas
+		if n > len(order) {
+			n = len(order)
+		}
+		// The result bytes are fetched lazily, once per key, and only if
+		// some new owner actually lacks its copy.
+		var data []byte
+		for _, b := range order[:n] {
+			if !b.isHealthy() {
+				continue
+			}
+			if ok, err := rt.storeHas(ctx, b, key); err != nil || ok {
+				continue
+			}
+			if data == nil {
+				var ok bool
+				var err error
+				data, ok, err = rt.storeGet(ctx, departing, key)
+				if err != nil || !ok {
+					break // departing lost the key mid-drain; replicas cover it
+				}
+			}
+			if err := rt.storePut(ctx, b, key, data); err != nil {
+				continue
+			}
+			b.replicaPuts.Add(1)
+			moved++
+		}
+	}
+	return moved, nil
+}
+
+// walkPlaces reports whether t's walk order stores key on b — b is within
+// the first effective-replica-count distinct backends for it.
+func walkPlaces(t *topology, key string, b *backend) bool {
+	order := t.walk(key)
+	n := t.replicas
+	if n > len(order) {
+		n = len(order)
+	}
+	for _, cand := range order[:n] {
+		if cand == b {
+			return true
+		}
+	}
+	return false
+}
+
+// requireAdmin gates the membership surface with Config.AdminToken: when a
+// token is configured, requests must carry "Authorization: Bearer <token>"
+// (compared constant-time). An empty token leaves the surface open for
+// deployments whose router listener is already private.
+func (rt *Router) requireAdmin(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := rt.cfg.AdminToken
+		if token != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+				w.Header().Set("WWW-Authenticate", `Bearer realm="improuter admin"`)
+				writeError(w, http.StatusUnauthorized, errors.New("router: admin token required"))
+				return
+			}
+		}
+		next(w, r)
+	}
+}
+
+func (rt *Router) handleBackendList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Members())
+}
+
+func (rt *Router) handleBackendJoin(w http.ResponseWriter, r *http.Request) {
+	var req api.JoinBackendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding join request: %w", err))
+		return
+	}
+	change, err := rt.AddBackend(r.Context(), req.URL)
+	if err != nil {
+		writeError(w, membershipStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, change)
+}
+
+func (rt *Router) handleBackendLeave(w http.ResponseWriter, r *http.Request) {
+	force := r.URL.Query().Get("force")
+	change, err := rt.RemoveBackend(r.Context(), r.PathValue("name"), force == "true" || force == "1")
+	if err != nil {
+		writeError(w, membershipStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, change)
+}
+
+// membershipStatus maps membership errors onto HTTP codes: conflicts with
+// the current ring are 409, unknown names 404, unreachable backends (the
+// pre-join probe or a failed graceful drain) 502, the rest bad requests.
+func membershipStatus(err error) int {
+	switch {
+	case errors.Is(err, errAlreadyMember), errors.Is(err, errLastBackend):
+		return http.StatusConflict
+	case errors.Is(err, errUnknownBackend):
+		return http.StatusNotFound
+	case errors.Is(err, errPrejoinProbe):
+		return http.StatusBadGateway
+	case strings.Contains(err.Error(), "graceful leave"):
+		return http.StatusBadGateway
+	default:
+		return http.StatusBadRequest
+	}
+}

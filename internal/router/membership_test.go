@@ -1,0 +1,468 @@
+package router_test
+
+// E2e tests for live ring membership (join warm-up, graceful-leave drain,
+// the admin surface and its token gate) and regression tests for the
+// config/stats bugfix sweep that rode along: -retries 0 must mean exactly
+// one attempt, last_probe must surface in /v1/stats on every probe
+// attempt, and the effective replication factor must track the live
+// member count instead of the startup clamp. The TestCluster* tests here
+// run in the CI cluster job under -race.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/cluster"
+	"github.com/impsim/imp/internal/router"
+)
+
+// refusingBackend is a stub impserve that answers health checks but
+// refuses every submission with 503 — the shape of a draining or
+// queue-full backend — while counting the attempts it received.
+func refusingBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/v1/jobs" {
+			hits.Add(1)
+		}
+		http.Error(w, "refusing", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+// submitThroughRouter posts one valid spec at a router over the given
+// backends with the given retry budget, returning the response code and
+// the per-backend attempt counters.
+func submitThroughRouter(t *testing.T, retries int, nBackends int) (int, int64) {
+	t.Helper()
+	var urls []string
+	counters := make([]*atomic.Int64, nBackends)
+	for i := 0; i < nBackends; i++ {
+		srv, hits := refusingBackend(t)
+		urls = append(urls, srv.URL)
+		counters[i] = hits
+	}
+	rt, err := router.New(router.Config{
+		Backends:       urls,
+		Retries:        retries,
+		HealthInterval: time.Hour, // no probes mid-test; backends start healthy
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	body := `{"sweep":[{"Workload":"spmv","Cores":4,"Scale":0.05,"System":"imp"}]}`
+	resp, err := http.Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var attempts int64
+	for _, c := range counters {
+		attempts += c.Load()
+	}
+	return resp.StatusCode, attempts
+}
+
+// TestRetriesZeroSingleAttempt is the -retries regression: an explicit 0
+// must mean exactly one backend attempt, not silently become the
+// try-everything default it used to alias.
+func TestRetriesZeroSingleAttempt(t *testing.T) {
+	code, attempts := submitThroughRouter(t, 0, 3)
+	if code != http.StatusBadGateway {
+		t.Fatalf("submit against all-refusing fleet: %d, want 502", code)
+	}
+	if attempts != 1 {
+		t.Fatalf("-retries 0 made %d backend attempts, want exactly 1", attempts)
+	}
+}
+
+// TestRetriesAllTriesEveryCandidate: the RetriesAll sentinel (the flag
+// default) walks the whole candidate set.
+func TestRetriesAllTriesEveryCandidate(t *testing.T) {
+	code, attempts := submitThroughRouter(t, router.RetriesAll, 3)
+	if code != http.StatusBadGateway {
+		t.Fatalf("submit against all-refusing fleet: %d, want 502", code)
+	}
+	if attempts != 3 {
+		t.Fatalf("RetriesAll made %d backend attempts, want all 3", attempts)
+	}
+}
+
+// TestStatsLastProbe is the probe-time regression: /v1/stats must carry a
+// parseable last_probe timestamp for every backend once probing starts —
+// including a backend whose probes fail — where previously the recorded
+// time was never surfaced at all.
+func TestStatsLastProbe(t *testing.T) {
+	live, _ := refusingBackend(t)
+	rt, err := router.New(router.Config{
+		// One reachable backend, one black hole: both must get stamped.
+		Backends:       []string{live.URL, "http://127.0.0.1:1"},
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := rt.Stats(context.Background())
+		stamped := 0
+		for _, b := range st.Backends {
+			if b.LastProbe == "" {
+				continue
+			}
+			when, err := time.Parse(time.RFC3339Nano, b.LastProbe)
+			if err != nil {
+				t.Fatalf("backend %s last_probe %q is not RFC3339: %v", b.Name, b.LastProbe, err)
+			}
+			if age := time.Since(when); age < 0 || age > time.Minute {
+				t.Fatalf("backend %s last_probe %q is implausible (age %v)", b.Name, b.LastProbe, age)
+			}
+			stamped++
+		}
+		if stamped == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/2 backends got a last_probe stamp; stats: %+v", stamped, st.Backends)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestClusterEffectiveReplicasFollowsMembership is the stale-clamp
+// regression: the factor reported (and used) must be min(configured,
+// members) of the *live* topology — degrading 3 -> 2 when the fleet
+// shrinks below the target and recovering when a member joins — not a
+// min taken once at startup.
+func TestClusterEffectiveReplicasFollowsMembership(t *testing.T) {
+	c := startCluster(t, 4, cluster.Options{Router: router.Config{Replicas: 3}})
+	ctx := context.Background()
+
+	if st := c.Router.Stats(ctx); st.EffectiveReplicas != 3 {
+		t.Fatalf("4 members, -replicas 3: effective %d, want 3", st.EffectiveReplicas)
+	}
+	if err := c.Remove(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Router.Stats(ctx); st.EffectiveReplicas != 2 {
+		t.Fatalf("shrunk to 2 members: effective %d, want 2 (degraded)", st.EffectiveReplicas)
+	}
+	if _, err := c.Add(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Router.Stats(ctx); st.EffectiveReplicas != 3 {
+		t.Fatalf("rejoined to 3 members: effective %d, want 3 (recovered)", st.EffectiveReplicas)
+	}
+}
+
+// TestClusterAdminTokenGate: with -admin-token set, the membership surface
+// rejects missing and wrong tokens with 401 and accepts the right one,
+// while the normal job surface stays open.
+func TestClusterAdminTokenGate(t *testing.T) {
+	const token = "cluster-admin-secret"
+	c := startCluster(t, 2, cluster.Options{Router: router.Config{AdminToken: token}})
+	ctx := context.Background()
+
+	get := func(auth string) int {
+		req, err := http.NewRequest(http.MethodGet, c.Front.URL+"/v1/backends", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := c.Front.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(""); code != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", code)
+	}
+	if code := get("Bearer wrong"); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d, want 401", code)
+	}
+	if code := get("Bearer " + token); code != http.StatusOK {
+		t.Fatalf("right token: %d, want 200", code)
+	}
+
+	// The client helper attaches the token on every call.
+	admin := c.Client()
+	admin.SetAdminToken(token)
+	members, err := admin.Backends(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || members[0].Name != "b0" || members[1].Name != "b1" {
+		t.Fatalf("membership listing: %+v", members)
+	}
+	// Mutations are gated identically.
+	bare := c.Client()
+	if _, err := bare.RemoveBackend(ctx, "b1", true); err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("unauthenticated remove: %v, want 401", err)
+	}
+	// The job surface never requires the token.
+	if _, err := bare.Jobs(ctx); err != nil {
+		t.Fatalf("job listing should be open: %v", err)
+	}
+}
+
+// scaleSpecs fabricates n distinct single-point sweeps (distinct result
+// keys) that each run in milliseconds at test scale.
+func scaleSpecs(n int) []api.JobSpec {
+	workloads := []string{"spmv", "pagerank"}
+	specs := make([]api.JobSpec, n)
+	for i := range specs {
+		specs[i] = api.JobSpec{Sweep: []imp.Config{{
+			Workload: workloads[i%len(workloads)],
+			Cores:    4, // mesh cores must be square
+			Scale:    0.02 + 0.01*float64(i/len(workloads)),
+			System:   imp.SystemIMP,
+		}}}
+	}
+	return specs
+}
+
+// TestClusterJoinWarmsNewOwner: results computed before a join must be
+// served from the joiner's warmed store afterwards — resubmitting the full
+// spec set after scaling 3 -> 4 must execute nothing anywhere.
+func TestClusterJoinWarmsNewOwner(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+	specs := scaleSpecs(12)
+
+	want := make([][]byte, len(specs))
+	for i, spec := range specs {
+		_, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = data
+	}
+	before := executedFleetWide(c, -1)
+
+	idx, err := c.Add()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WaitHealthy(4, 5*time.Second); got != 4 {
+		t.Fatalf("router sees %d healthy backends after join, want 4", got)
+	}
+	st := c.Router.Stats(ctx)
+	if st.Joins != 1 || st.TopologyVersion != 2 {
+		t.Fatalf("join counters: joins=%d version=%d, want 1/2", st.Joins, st.TopologyVersion)
+	}
+	if st.HandoffKeys == 0 {
+		t.Fatalf("join moved no keys across 12 stored results; hand-off is not running")
+	}
+
+	for i, spec := range specs {
+		_, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want[i]) {
+			t.Fatalf("spec %d result changed across the join", i)
+		}
+	}
+	if after := executedFleetWide(c, -1); after != before {
+		t.Fatalf("join caused recomputes: %d points executed before, %d after (joiner is index %d)", before, after, idx)
+	}
+}
+
+// TestClusterGracefulLeaveHandsOff: retiring a member gracefully must
+// drain its stored results to their new owners — resubmitting every spec
+// afterwards is answered from stores, byte-identical, with zero new
+// executions fleet-wide.
+func TestClusterGracefulLeaveHandsOff(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{})
+	ctx := context.Background()
+	specs := scaleSpecs(10)
+
+	want := make([][]byte, len(specs))
+	owners := make([]int, len(specs))
+	for i, spec := range specs {
+		st, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i], owners[i] = data, ownerIndex(t, st.ID)
+	}
+	before := executedFleetWide(c, -1)
+
+	// Retire the owner of spec 0 so at least one key provably changes hands.
+	departing := owners[0]
+	if err := c.Remove(departing, false); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Router.Stats(ctx)
+	if st.Leaves != 1 || st.BackendCount != 2 {
+		t.Fatalf("leave counters: leaves=%d backends=%d, want 1/2", st.Leaves, st.BackendCount)
+	}
+	if st.HandoffKeys == 0 {
+		t.Fatalf("graceful leave of b%d moved no keys; drain is not running", departing)
+	}
+
+	for i, spec := range specs {
+		st2, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ownerIndex(t, st2.ID); got == departing {
+			t.Fatalf("spec %d routed to retired backend b%d", i, got)
+		}
+		if !bytes.Equal(data, want[i]) {
+			t.Fatalf("spec %d result changed across the leave", i)
+		}
+	}
+	if after := executedFleetWide(c, -1); after != before {
+		t.Fatalf("graceful leave caused recomputes: %d executed before, %d after", before, after)
+	}
+}
+
+// TestClusterScaleUnderTraffic is the membership acceptance criterion:
+// scale a live cluster 3 -> 4 -> 2 while clients keep submitting the same
+// spec set, and require that every submission succeeds, results stay
+// byte-identical throughout, and nothing is ever recomputed — each
+// distinct spec executes exactly once fleet-wide across the whole
+// scaling story. Runs in the CI cluster job under -race.
+func TestClusterScaleUnderTraffic(t *testing.T) {
+	c := startCluster(t, 3, cluster.Options{Router: router.Config{Retries: router.RetriesAll}})
+	ctx := context.Background()
+	specs := scaleSpecs(10)
+
+	// Phase 0: compute everything once, so the scaling phases operate on a
+	// fully stored, replicated spec set.
+	want := make([][]byte, len(specs))
+	for i, spec := range specs {
+		_, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = data
+	}
+
+	// Sustained traffic: three clients cycling the spec set. Submissions
+	// must never fail (the router always has healthy members); result
+	// fetches tolerate ids minted on a member removed moments later, but
+	// any bytes that do come back must match phase 0.
+	stop := make(chan struct{})
+	errc := make(chan error, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := (i*3 + w) % len(specs)
+				st, err := cl.Submit(ctx, specs[idx])
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: submit spec %d: %w", w, idx, err)
+					return
+				}
+				if st.State != api.StateDone {
+					continue // queued behind a repair or a just-moved key; fine
+				}
+				data, err := cl.Result(ctx, st.ID)
+				if err != nil {
+					continue // owner may have left between answer and fetch
+				}
+				if !bytes.Equal(data, want[idx]) {
+					errc <- fmt.Errorf("worker %d: spec %d bytes diverged mid-scale", w, idx)
+					return
+				}
+			}
+		}(w)
+	}
+
+	scaleErr := func() error {
+		if _, err := c.Add(); err != nil {
+			return fmt.Errorf("scale up to 4: %w", err)
+		}
+		if got := c.WaitHealthy(4, 5*time.Second); got != 4 {
+			return fmt.Errorf("router sees %d healthy after join, want 4", got)
+		}
+		time.Sleep(150 * time.Millisecond) // let traffic route through the 4-member ring
+		for _, victim := range []int{0, 1} {
+			if err := c.Remove(victim, false); err != nil {
+				return fmt.Errorf("graceful leave of b%d: %w", victim, err)
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+		return nil
+	}()
+	close(stop)
+	wg.Wait()
+	if scaleErr != nil {
+		t.Fatal(scaleErr)
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	st := c.Router.Stats(ctx)
+	if st.Joins != 1 || st.Leaves != 2 || st.BackendCount != 2 || st.TopologyVersion != 4 {
+		t.Fatalf("scaling story off: joins=%d leaves=%d backends=%d version=%d, want 1/2/2/4",
+			st.Joins, st.Leaves, st.BackendCount, st.TopologyVersion)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("%d submissions failed during scaling; routing must survive membership changes", st.Failed)
+	}
+
+	// Final pass through the shrunken fleet: still cached, still identical.
+	for i, spec := range specs {
+		_, data, err := c.Client().Run(ctx, spec, nil)
+		if err != nil {
+			t.Fatalf("final pass spec %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want[i]) {
+			t.Fatalf("final pass spec %d: bytes diverged after scale-down", i)
+		}
+	}
+	// The zero-recompute criterion, summed over every backend that ever
+	// existed (removed members keep their counters): one execution per
+	// distinct sweep point, full stop.
+	var points uint64
+	for _, spec := range specs {
+		points += uint64(len(spec.Sweep))
+	}
+	if got := executedFleetWide(c, -1); got != points {
+		t.Fatalf("fleet executed %d points across the scaling story, want exactly %d (zero recomputes)", got, points)
+	}
+}

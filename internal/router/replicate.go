@@ -27,9 +27,11 @@ import (
 // after its submission was accepted by b. st is the backend's own answer,
 // raw id: a terminal done status (cached answers) fans out immediately,
 // a live one is polled to completion first. Failed and canceled jobs have
-// nothing to copy.
-func (rt *Router) scheduleReplication(key string, b *backend, st api.JobStatus) {
-	if rt.cfg.Replicas < 2 || rt.ring.n < 2 {
+// nothing to copy. topo is the snapshot the submission routed under; its
+// effective replica count (already clamped to the member count) decides
+// whether replication is worth starting at all.
+func (rt *Router) scheduleReplication(topo *topology, key string, b *backend, st api.JobStatus) {
+	if topo.replicas < 2 {
 		return
 	}
 	if st.State.Terminal() && st.State != api.StateDone {
@@ -93,8 +95,11 @@ func (rt *Router) invalidateConfirmed() {
 }
 
 // replicate waits for the job to finish on its owner, then copies the
-// result to the next Replicas-1 healthy ring successors that do not
-// already hold it.
+// result to the key's healthy ring successors (effective replica count
+// minus the owner) that do not already hold it. The successor set is
+// computed against the topology current at fan-out time, not at submit
+// time: a join or leave while the job ran means the copies land where the
+// new ring will actually look for them.
 func (rt *Router) replicate(ctx context.Context, key string, owner *backend, st api.JobStatus) {
 	epoch := rt.healthEpoch.Load()
 	if !st.State.Terminal() {
@@ -129,10 +134,10 @@ func (rt *Router) replicate(ctx context.Context, key string, owner *backend, st 
 		}
 		return
 	}
-	succ := rt.successors(key, owner)
+	topo := rt.topo.Load()
+	succ := topo.successors(key, owner)
 	placed := 0
-	for _, idx := range succ {
-		b := rt.backends[idx]
+	for _, b := range succ {
 		if ok, err := rt.storeHas(ctx, b, key); err == nil && ok {
 			placed++
 			continue // replica already present; fan-out is idempotent
@@ -147,27 +152,9 @@ func (rt *Router) replicate(ctx context.Context, key string, owner *backend, st 
 		rt.replicaPuts.Add(1)
 		placed++
 	}
-	if placed == len(succ) && placed == rt.cfg.Replicas-1 {
+	if placed == len(succ) && placed == topo.replicas-1 {
 		rt.markConfirmed(key, epoch) // full complement; skip re-verification until health changes
 	}
-}
-
-// successors returns up to Replicas-1 healthy backends after owner in the
-// key's walk order — the nodes a rehash would land on, which is exactly
-// why they hold the replicas.
-func (rt *Router) successors(key string, owner *backend) []int {
-	var out []int
-	for _, idx := range rt.ring.walk(key) {
-		b := rt.backends[idx]
-		if b == owner || !b.isHealthy() {
-			continue
-		}
-		out = append(out, idx)
-		if len(out) >= rt.cfg.Replicas-1 {
-			break
-		}
-	}
-	return out
 }
 
 // readRepair runs on the submit path, before the spec is forwarded: if the
@@ -177,20 +164,20 @@ func (rt *Router) successors(key string, owner *backend) []int {
 // the target, so the forwarded submission is answered from its store
 // instead of executing. Probes and the copy are bounded and best-effort: a
 // repair that cannot happen degrades to recomputation, never to an error.
-func (rt *Router) readRepair(ctx context.Context, key string, candidates []int) {
-	if rt.cfg.Replicas < 2 || len(candidates) < 2 {
+func (rt *Router) readRepair(ctx context.Context, topo *topology, key string, candidates []*backend) {
+	if topo.replicas < 2 || len(candidates) < 2 {
 		return
 	}
-	target := rt.backends[candidates[0]]
+	target := candidates[0]
 	if ok, err := rt.storeHas(ctx, target, key); err != nil || ok {
 		return // warm — or unreachable, which the forward loop handles
 	}
 	probes := candidates[1:]
-	if len(probes) > rt.cfg.Replicas {
-		probes = probes[:rt.cfg.Replicas]
+	if len(probes) > topo.replicas {
+		probes = probes[:topo.replicas]
 	}
-	for _, idx := range probes {
-		data, ok, err := rt.storeGet(ctx, rt.backends[idx], key)
+	for _, b := range probes {
+		data, ok, err := rt.storeGet(ctx, b, key)
 		if err != nil || !ok {
 			continue
 		}

@@ -9,10 +9,11 @@ import (
 
 // ring is a consistent-hash ring over backend indexes. Each backend owns
 // vnodes virtual points; a key is served by the first point at or after
-// its hash, walking clockwise. Membership is static for the router's
-// lifetime — health is a filter applied at lookup time, not a ring rebuild,
-// so a backend that flaps in and out of health keeps exactly the same key
-// ownership and the caches it warmed stay warm.
+// its hash, walking clockwise. Each ring instance is immutable — health is
+// a filter applied at lookup time, not a ring rebuild, so a backend that
+// flaps in and out of health keeps exactly the same key ownership and the
+// caches it warmed stay warm. Membership changes (join/leave) build a new
+// ring inside a new topology snapshot rather than mutating this one.
 //
 // Virtual points are hashed by backend *address*, not list position:
 // "http://host:8080#17" rather than "b3#17". Position-derived points would

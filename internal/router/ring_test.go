@@ -139,3 +139,54 @@ func BenchmarkRingWalk(b *testing.B) {
 		r.walk(keys[i%len(keys)])
 	}
 }
+
+// walkAddrs resolves a ring walk to address order for delta comparisons
+// (indexes are positional and shift between member lists; addresses are
+// the stable ring identity).
+func walkAddrs(r *ring, addrs []string, key string) []string {
+	idxs := r.walk(key)
+	out := make([]string, len(idxs))
+	for i, idx := range idxs {
+		out[i] = addrs[idx]
+	}
+	return out
+}
+
+// TestRingMembershipDeltaProperty is the property live membership relies
+// on: joining or leaving one backend must perturb each key's walk order
+// only by inserting or deleting that backend — every surviving backend
+// keeps its relative preference position. Filtering the changed address
+// out of the larger ring's walk must therefore reproduce the smaller
+// ring's walk exactly, for every key. This is strictly stronger than
+// "owners rarely move": it pins the full fallback and replica-placement
+// order, which is what join warm-up, graceful-leave drain, and read-repair
+// all walk.
+func TestRingMembershipDeltaProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		grown := testAddrs(n + 1)
+		base := grown[:n]  // the ring before the join / after the leave
+		joined := grown[n] // the backend that joins (or, read backward, leaves)
+		small := newRing(base, 64)
+		big := newRing(grown, 64)
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("%024x", i*7919+n)
+			wantOrder := walkAddrs(small, base, key)
+			gotOrder := walkAddrs(big, grown, key)
+			filtered := gotOrder[:0:0]
+			for _, addr := range gotOrder {
+				if addr != joined {
+					filtered = append(filtered, addr)
+				}
+			}
+			if len(filtered) != len(wantOrder) {
+				t.Fatalf("n=%d walk(%q): filtered %d backends, want %d", n, key, len(filtered), len(wantOrder))
+			}
+			for j := range filtered {
+				if filtered[j] != wantOrder[j] {
+					t.Fatalf("n=%d walk(%q): surviving backend order changed at position %d: %v (minus %s) vs %v",
+						n, key, j, gotOrder, joined, wantOrder)
+				}
+			}
+		}
+	}
+}

@@ -47,11 +47,17 @@ import (
 	"github.com/impsim/imp/internal/jobkey"
 )
 
-// Config parameterizes a Router. Zero values select the defaults.
+// Config parameterizes a Router. Zero values select the defaults, except
+// Retries, whose zero value is meaningful (see below): for every other
+// numeric field an explicit zero is nonsense (a ring needs at least one
+// virtual node, a result at least one copy), so zero can safely mean
+// "default"; flag front-ends like cmd/improuter reject explicit nonsense
+// loudly instead of letting it silently become the default.
 type Config struct {
-	// Backends lists the impserve base URLs ("http://host:port"). Order is
-	// identity: backend i is named "b<i>" in composite job ids, so keep the
-	// list stable across router restarts or outstanding ids go stale.
+	// Backends lists the initial impserve base URLs ("http://host:port").
+	// Backend i is named "b<i>" in composite job ids; membership can
+	// change live afterwards via AddBackend/RemoveBackend (the admin
+	// /v1/backends surface), with later joiners named in arrival order.
 	Backends []string
 	// Vnodes is the virtual-node count per backend on the hash ring
 	// (default 64); more virtual nodes smooth key distribution.
@@ -62,7 +68,11 @@ type Config struct {
 	// fans the result out asynchronously, and on submit a cold owner is
 	// read-repaired from its successors before work is forwarded — so a
 	// dead or restarted owner's results are served from replicas instead
-	// of recomputed. 1 disables replication and read-repair.
+	// of recomputed. 1 disables replication and read-repair. Replicas is
+	// the configured target; the factor in effect at any moment is
+	// min(Replicas, current member count), a property of the live topology
+	// snapshot — a fleet that shrinks below the target degrades to the
+	// copies it can hold and recovers the full target when members rejoin.
 	Replicas int
 	// ReplicaPoll is how often the replication watcher polls a submitted
 	// job for completion before fanning its result out (default 250ms).
@@ -71,17 +81,31 @@ type Config struct {
 	// enforced with an imp.Gate per backend. Event streams hold a slot for
 	// their lifetime.
 	Inflight int
-	// Retries bounds additional backends tried after the owner fails
-	// (default: every remaining backend once).
+	// Retries bounds additional backends tried after the owner fails.
+	// 0 — the zero value — disables retries (the submit fails if the owner
+	// does); any negative value, canonically RetriesAll, tries every
+	// remaining candidate in walk order. 0 and "unset" must not be
+	// conflated here: "-retries 0" is an explicit operator request for
+	// no rehash retry, so the all-remaining default hides behind the -1
+	// sentinel instead of behind 0.
 	Retries int
 	// HealthInterval is the active probe period (default 2s);
 	// HealthTimeout bounds one probe (default 1s).
 	HealthInterval time.Duration
 	HealthTimeout  time.Duration
+	// AdminToken, when set, gates the membership surface (/v1/backends):
+	// requests must carry "Authorization: Bearer <token>". Empty leaves
+	// the surface open — acceptable only when the router's listener is
+	// itself unreachable from untrusted clients.
+	AdminToken string
 	// Client issues backend requests; nil gets a client with no overall
 	// timeout (event streams are long-lived).
 	Client *http.Client
 }
+
+// RetriesAll is the canonical Config.Retries sentinel for "try every
+// remaining backend" (any negative value behaves the same).
+const RetriesAll = -1
 
 func (c Config) withDefaults() Config {
 	if c.Vnodes <= 0 {
@@ -90,19 +114,15 @@ func (c Config) withDefaults() Config {
 	if c.Replicas <= 0 {
 		c.Replicas = 2
 	}
-	if c.Replicas > len(c.Backends) {
-		// More copies than backends is meaningless; clamping keeps the
-		// stats and the confirmed-replication bookkeeping honest.
-		c.Replicas = len(c.Backends)
-	}
+	// Replicas is deliberately NOT clamped to len(c.Backends) here: the
+	// startup backend list is just the initial membership, and a clamp
+	// taken now would go stale on the first join or leave. The effective
+	// factor is computed per topology snapshot (newTopology).
 	if c.ReplicaPoll <= 0 {
 		c.ReplicaPoll = 250 * time.Millisecond
 	}
 	if c.Inflight <= 0 {
 		c.Inflight = 64
-	}
-	if c.Retries <= 0 {
-		c.Retries = len(c.Backends) - 1
 	}
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 2 * time.Second
@@ -120,6 +140,18 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	BackendCount int `json:"backends"`
 	HealthyCount int `json:"healthy"`
+	// TopologyVersion identifies the membership snapshot these stats were
+	// read under (bumped once per join or leave); EffectiveReplicas is the
+	// replication factor that snapshot can sustain —
+	// min(configured -replicas, member count).
+	TopologyVersion   uint64 `json:"topology_version"`
+	EffectiveReplicas int    `json:"effective_replicas"`
+	// Membership counters: Joins and Leaves count admin-surface ring
+	// changes; HandoffKeys counts results bulk-copied between backends
+	// during those changes (join warm-up and graceful-leave hand-off).
+	Joins       uint64 `json:"joins"`
+	Leaves      uint64 `json:"leaves"`
+	HandoffKeys uint64 `json:"handoff_keys"`
 	// Submitted counts submissions accepted by some backend; Rehashes
 	// counts retry attempts that moved a submission off its owner; Failed
 	// counts submissions no backend would take.
@@ -143,14 +175,26 @@ type Stats struct {
 
 // Router fronts a fleet of impserve backends behind one api/ endpoint.
 type Router struct {
-	cfg      Config
-	backends []*backend
-	ring     *ring
-	hc       *http.Client
+	cfg Config
+	hc  *http.Client
+
+	// topo is the current membership snapshot. Reads are lock-free and
+	// always see one consistent ring+backends+replicas view; writes are
+	// copy-on-write under memberMu (see membership.go). nextName numbers
+	// backends across the router's lifetime — a joiner never reuses a
+	// departed member's name, so stale composite job ids can never be
+	// misrouted to an unrelated new backend.
+	topo     atomic.Pointer[topology]
+	memberMu sync.Mutex
+	nextName int
 
 	submitted atomic.Uint64
 	rehashes  atomic.Uint64
 	failed    atomic.Uint64
+
+	joins       atomic.Uint64
+	leaves      atomic.Uint64
+	handoffKeys atomic.Uint64
 
 	replicaPuts   atomic.Uint64
 	replicaErrors atomic.Uint64
@@ -176,6 +220,16 @@ type Router struct {
 	wg      sync.WaitGroup
 }
 
+// normalizeBackendURL validates one backend base URL and strips its
+// trailing slash — the normalized form is the backend's ring identity.
+func normalizeBackendURL(base string) (string, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("bad URL %q", base)
+	}
+	return strings.TrimRight(base, "/"), nil
+}
+
 // New builds a Router over cfg.Backends and starts its health loop; Close
 // releases it. Backends start healthy — the first probe round corrects
 // that within HealthInterval, and submit retries cover the gap.
@@ -185,14 +239,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	cfg = cfg.withDefaults()
 	rt := &Router{cfg: cfg, hc: cfg.Client, replWatch: make(map[string]bool), replConfirmed: make(map[string]bool)}
-	addrs := make([]string, 0, len(cfg.Backends))
+	backends := make([]*backend, 0, len(cfg.Backends))
 	seen := make(map[string]int, len(cfg.Backends))
 	for i, base := range cfg.Backends {
-		u, err := url.Parse(base)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return nil, fmt.Errorf("router: backend %d: bad URL %q", i, base)
+		addr, err := normalizeBackendURL(base)
+		if err != nil {
+			return nil, fmt.Errorf("router: backend %d: %w", i, err)
 		}
-		addr := strings.TrimRight(base, "/")
 		if j, dup := seen[addr]; dup {
 			// Duplicates would stack identical virtual points (the ring
 			// hashes by address) and split one backend's identity across
@@ -200,20 +253,27 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("router: backend %d: %q duplicates backend %d", i, base, j)
 		}
 		seen[addr] = i
-		addrs = append(addrs, addr)
-		rt.backends = append(rt.backends, &backend{
-			name:    fmt.Sprintf("b%d", i),
-			base:    addr,
-			gate:    imp.NewGate(cfg.Inflight),
-			healthy: true,
-		})
+		backends = append(backends, rt.newBackend(addr))
 	}
-	rt.ring = newRing(addrs, cfg.Vnodes)
+	rt.topo.Store(newTopology(1, backends, cfg.Vnodes, cfg.Replicas))
 	ctx, cancel := context.WithCancel(context.Background())
 	rt.baseCtx, rt.stop = ctx, cancel
 	rt.wg.Add(1)
 	go rt.healthLoop(ctx)
 	return rt, nil
+}
+
+// newBackend allocates a ring member with the next lifetime-unique name.
+// Callers hold memberMu or are inside New (no concurrent membership yet).
+func (rt *Router) newBackend(addr string) *backend {
+	b := &backend{
+		name:    fmt.Sprintf("b%d", rt.nextName),
+		base:    addr,
+		gate:    imp.NewGate(rt.cfg.Inflight),
+		healthy: true,
+	}
+	rt.nextName++
+	return b
 }
 
 // Close stops the health loop and any in-flight replication watchers.
@@ -227,22 +287,28 @@ func (rt *Router) Close() {
 	rt.wg.Wait()
 }
 
-// healthLoop probes every backend each interval, evicting and readmitting
-// ring members as /healthz answers change. A change in the healthy set
-// also wipes the confirmed-replicated key set: a readmitted backend may
-// have restarted cold, so previously "fully replicated" keys must be
-// re-verified by their next watcher.
+// healthLoop probes every current ring member each interval, evicting and
+// readmitting members as /healthz answers change. A change in the healthy
+// set also wipes the confirmed-replicated key set: a readmitted backend
+// may have restarted cold, so previously "fully replicated" keys must be
+// re-verified by their next watcher. Membership is re-read from the
+// topology snapshot every round, so joiners are probed from the next tick
+// and departed members stop being probed; health state is tracked per
+// backend identity, not per list position (positions shift as the fleet
+// scales). Membership changes themselves invalidate the confirmed set in
+// AddBackend/RemoveBackend, so only genuine health transitions do it here.
 func (rt *Router) healthLoop(ctx context.Context) {
 	defer rt.wg.Done()
 	tick := time.NewTicker(rt.cfg.HealthInterval)
 	defer tick.Stop()
-	prev := make([]bool, len(rt.backends))
-	for i, b := range rt.backends {
-		prev[i] = b.isHealthy()
+	prev := make(map[*backend]bool)
+	for _, b := range rt.topo.Load().backends {
+		prev[b] = b.isHealthy()
 	}
 	for {
+		members := rt.topo.Load().backends
 		var wg sync.WaitGroup
-		for _, b := range rt.backends {
+		for _, b := range members {
 			wg.Add(1)
 			go func(b *backend) {
 				defer wg.Done()
@@ -251,12 +317,15 @@ func (rt *Router) healthLoop(ctx context.Context) {
 		}
 		wg.Wait()
 		changed := false
-		for i, b := range rt.backends {
-			if h := b.isHealthy(); h != prev[i] {
-				prev[i] = h
+		next := make(map[*backend]bool, len(members))
+		for _, b := range members {
+			h := b.isHealthy()
+			next[b] = h
+			if ph, known := prev[b]; known && ph != h {
 				changed = true
 			}
 		}
+		prev = next
 		if changed {
 			rt.invalidateConfirmed()
 		}
@@ -282,6 +351,10 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", rt.handlePassthrough("/v1/experiments"))
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	// Membership admin surface (membership.go); gated by Config.AdminToken.
+	mux.HandleFunc("GET /v1/backends", rt.requireAdmin(rt.handleBackendList))
+	mux.HandleFunc("POST /v1/backends", rt.requireAdmin(rt.handleBackendJoin))
+	mux.HandleFunc("DELETE /v1/backends/{name}", rt.requireAdmin(rt.handleBackendLeave))
 	return mux
 }
 
@@ -326,22 +399,31 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	candidates := rt.candidates(key)
+	// One topology snapshot serves the whole submission: candidate order,
+	// read-repair and replication scheduling all see the same membership,
+	// even if a join or leave publishes mid-request.
+	topo := rt.topo.Load()
+	candidates := topo.candidates(key)
 	// Before forwarding, make sure the backend about to receive this key
 	// holds its result if any replica does: a cold owner (restarted, or
 	// readmitted after its keys were served elsewhere) answers from its
 	// refilled store instead of recomputing.
-	rt.readRepair(r.Context(), key, candidates)
+	rt.readRepair(r.Context(), topo, key, candidates)
+	// Retries 0 means exactly one attempt (the owner); negative means
+	// every candidate. The budget is computed against the live candidate
+	// set, not the startup backend count — membership is dynamic now.
 	budget := rt.cfg.Retries + 1
+	if rt.cfg.Retries < 0 {
+		budget = len(candidates)
+	}
 	var lastErr error
-	for attempt, idx := range candidates {
+	for attempt, b := range candidates {
 		if attempt >= budget {
 			break
 		}
 		if attempt > 0 {
 			rt.rehashes.Add(1)
 		}
-		b := rt.backends[idx]
 		resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/jobs", "", body)
 		if err != nil {
 			if clientGone(r) {
@@ -369,7 +451,7 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s: decoding status: %w", b.name, err))
 			return
 		}
-		rt.scheduleReplication(key, b, st)
+		rt.scheduleReplication(topo, key, b, st)
 		st.ID = b.name + "." + st.ID
 		b.submits.Add(1)
 		rt.submitted.Add(1)
@@ -410,24 +492,6 @@ func proxyFailure(r *http.Request, b *backend, err error) (status int) {
 		b.markDown(err)
 	}
 	return http.StatusBadGateway
-}
-
-// candidates returns backend indexes to try for key: healthy ring members
-// in walk order, then — only if none are healthy — every member in walk
-// order, so a fleet-wide outage still makes one optimistic pass instead of
-// failing without trying.
-func (rt *Router) candidates(key string) []int {
-	order := rt.ring.walk(key)
-	healthy := order[:0:0]
-	for _, idx := range order {
-		if rt.backends[idx].isHealthy() {
-			healthy = append(healthy, idx)
-		}
-	}
-	if len(healthy) > 0 {
-		return healthy
-	}
-	return order
 }
 
 // forward issues one gated request to b. The in-flight slot is waited for
@@ -479,14 +543,16 @@ func (b *releasingBody) Close() error {
 	return err
 }
 
-// splitID resolves a composite job id ("b2.j-000017") to its backend.
+// splitID resolves a composite job id ("b2.j-000017") to its backend in
+// the current topology. Ids minted before a backend left resolve to
+// nothing — the job died with its node; resubmitting rehashes the spec
+// onto the new owner (whose store was handed the result, so a finished
+// job's resubmission is answered cached, not recomputed).
 func (rt *Router) splitID(composite string) (*backend, string, error) {
 	name, id, ok := strings.Cut(composite, ".")
 	if ok && id != "" {
-		for _, b := range rt.backends {
-			if b.name == name {
-				return b, id, nil
-			}
+		if b := rt.topo.Load().byName(name); b != nil {
+			return b, id, nil
 		}
 	}
 	return nil, "", fmt.Errorf("router: unknown job %q", composite)
@@ -645,7 +711,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	var all []api.JobStatus
 	var missing []string
 	reached := 0
-	for _, b := range rt.backends {
+	for _, b := range rt.topo.Load().backends {
 		if !b.isHealthy() {
 			continue
 		}
@@ -694,7 +760,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handlePassthrough(path string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		for _, healthyOnly := range []bool{true, false} {
-			for _, b := range rt.backends {
+			for _, b := range rt.topo.Load().backends {
 				if healthyOnly != b.isHealthy() {
 					continue
 				}
@@ -720,19 +786,25 @@ func (rt *Router) handlePassthrough(path string) http.HandlerFunc {
 // backends are saturated, so it must not queue behind the saturation it
 // is reporting.
 func (rt *Router) Stats(ctx context.Context) Stats {
+	topo := rt.topo.Load()
 	st := Stats{
-		BackendCount:  len(rt.backends),
-		Submitted:     rt.submitted.Load(),
-		Rehashes:      rt.rehashes.Load(),
-		Failed:        rt.failed.Load(),
-		ReplicaPuts:   rt.replicaPuts.Load(),
-		ReplicaErrors: rt.replicaErrors.Load(),
-		ReadRepairs:   rt.readRepairs.Load(),
-		RepairMisses:  rt.repairMisses.Load(),
-		Backends:      make([]BackendStats, len(rt.backends)),
+		BackendCount:      len(topo.backends),
+		TopologyVersion:   topo.version,
+		EffectiveReplicas: topo.replicas,
+		Joins:             rt.joins.Load(),
+		Leaves:            rt.leaves.Load(),
+		HandoffKeys:       rt.handoffKeys.Load(),
+		Submitted:         rt.submitted.Load(),
+		Rehashes:          rt.rehashes.Load(),
+		Failed:            rt.failed.Load(),
+		ReplicaPuts:       rt.replicaPuts.Load(),
+		ReplicaErrors:     rt.replicaErrors.Load(),
+		ReadRepairs:       rt.readRepairs.Load(),
+		RepairMisses:      rt.repairMisses.Load(),
+		Backends:          make([]BackendStats, len(topo.backends)),
 	}
 	var wg sync.WaitGroup
-	for i, b := range rt.backends {
+	for i, b := range topo.backends {
 		bs := b.stats()
 		if !bs.Healthy {
 			st.Backends[i] = bs
@@ -763,18 +835,14 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports the router healthy while it can route anywhere.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	healthy := 0
-	for _, b := range rt.backends {
-		if b.isHealthy() {
-			healthy++
-		}
-	}
+	topo := rt.topo.Load()
+	healthy := topo.healthyCount()
 	if healthy == 0 {
 		writeError(w, http.StatusServiceUnavailable, errors.New("router: no healthy backends"))
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, "ok %d/%d backends\n", healthy, len(rt.backends))
+	fmt.Fprintf(w, "ok %d/%d backends\n", healthy, len(topo.backends))
 }
 
 // copyResponse passes a backend answer through verbatim.

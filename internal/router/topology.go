@@ -1,0 +1,127 @@
+package router
+
+// topology is one immutable snapshot of ring membership: the backend set,
+// the consistent-hash ring built over exactly those backends, and the
+// replication factor that set can actually sustain. The router publishes
+// the current snapshot through an atomic pointer and every lookup site —
+// submit routing, read-repair, replication fan-out, stats, the health loop
+// — loads it once and works against that one consistent view, so a
+// membership change never tears a request between two rings. Mutation is
+// copy-on-write under Router.memberMu: build the next snapshot, hand off
+// the key ranges that move, then publish.
+type topology struct {
+	// version increases by one per membership change; it is exposed in
+	// /v1/stats so operators (and the CI failure artifacts) can correlate
+	// routing behavior with the topology it was decided under.
+	version uint64
+	// backends are the ring members; ring.walk indexes into this slice.
+	backends []*backend
+	ring     *ring
+	// replicas is the replication factor this membership can sustain:
+	// min(configured Replicas, len(backends)). It is a property of the
+	// snapshot, not of the startup config — a fleet that shrinks below the
+	// configured factor degrades to the copies it can hold instead of
+	// counting unreachable successors as replication errors, and recovers
+	// the full factor when members rejoin.
+	replicas int
+}
+
+// newTopology builds a snapshot over backends. vnodes and the configured
+// replication factor come from the router config; the effective factor is
+// clamped to the member count here, at snapshot build, never at startup.
+func newTopology(version uint64, backends []*backend, vnodes, replicas int) *topology {
+	addrs := make([]string, len(backends))
+	for i, b := range backends {
+		addrs[i] = b.base
+	}
+	if replicas > len(backends) {
+		replicas = len(backends)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &topology{
+		version:  version,
+		backends: backends,
+		ring:     newRing(addrs, vnodes),
+		replicas: replicas,
+	}
+}
+
+// byName resolves a backend name ("b2") within this snapshot; nil if the
+// name is not (or no longer) a member.
+func (t *topology) byName(name string) *backend {
+	for _, b := range t.backends {
+		if b.name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// byAddr resolves a backend by its normalized base URL; nil if absent.
+func (t *topology) byAddr(addr string) *backend {
+	for _, b := range t.backends {
+		if b.base == addr {
+			return b
+		}
+	}
+	return nil
+}
+
+// walk returns the backends that would serve key in preference order —
+// the ring walk mapped onto this snapshot's member set.
+func (t *topology) walk(key string) []*backend {
+	order := t.ring.walk(key)
+	out := make([]*backend, len(order))
+	for i, idx := range order {
+		out[i] = t.backends[idx]
+	}
+	return out
+}
+
+// candidates returns the backends to try for key: healthy members in walk
+// order, then — only if none are healthy — every member in walk order, so
+// a fleet-wide outage still makes one optimistic pass instead of failing
+// without trying.
+func (t *topology) candidates(key string) []*backend {
+	order := t.walk(key)
+	healthy := order[:0:0]
+	for _, b := range order {
+		if b.isHealthy() {
+			healthy = append(healthy, b)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return order
+}
+
+// successors returns up to replicas-1 healthy backends after owner in the
+// key's walk order — the nodes a rehash would land on, which is exactly
+// why they hold the replicas.
+func (t *topology) successors(key string, owner *backend) []*backend {
+	var out []*backend
+	for _, b := range t.walk(key) {
+		if b == owner || !b.isHealthy() {
+			continue
+		}
+		out = append(out, b)
+		if len(out) >= t.replicas-1 {
+			break
+		}
+	}
+	return out
+}
+
+// healthyCount reports the live member count in this snapshot.
+func (t *topology) healthyCount() int {
+	n := 0
+	for _, b := range t.backends {
+		if b.isHealthy() {
+			n++
+		}
+	}
+	return n
+}

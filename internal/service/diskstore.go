@@ -6,7 +6,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"github.com/impsim/imp/internal/jobkey"
 )
 
 // diskStore layers a persistent directory under the in-memory LRU,
@@ -83,6 +86,32 @@ func (d *diskStore) put(key string, data []byte) {
 		d.diskPuts++
 		d.mu.Unlock()
 	}
+}
+
+// keys unions the in-memory entries with the persistent directory, so a
+// restarted backend's full disk inventory is visible to the router's
+// membership hand-off even before anything has been promoted into memory.
+// Files that do not look like result entries (temp files, foreign junk)
+// are skipped; the integrity of each entry is still only checked on read.
+func (d *diskStore) keys() []string {
+	seen := make(map[string]bool)
+	for _, key := range d.mem.keys() {
+		seen[key] = true
+	}
+	if entries, err := os.ReadDir(d.dir); err == nil {
+		for _, e := range entries {
+			name, ok := strings.CutSuffix(e.Name(), ".impresult")
+			if !ok || e.IsDir() || !jobkey.ValidKey(name) {
+				continue
+			}
+			seen[name] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for key := range seen {
+		out = append(out, key)
+	}
+	return out
 }
 
 func (d *diskStore) stats() storeStats {

@@ -21,6 +21,7 @@ import (
 //	GET    /v1/jobs/{id}/result canonical result bytes (409 until done)
 //	GET    /v1/jobs/{id}/events NDJSON progress stream (?from=<seq> resumes)
 //	POST   /v1/jobs/{id}/cancel request cancellation
+//	GET    /v1/results          stored result keys (membership hand-off inventory)
 //	GET    /v1/results/{key}    result store read by content key (404 on miss)
 //	PUT    /v1/results/{key}    result store write (replica fan-out / read-repair)
 //	GET    /v1/workloads        available workload names
@@ -43,6 +44,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.StoredKeys())
+	})
 	mux.HandleFunc("GET /v1/results/{key}", s.handleStoreGet)
 	mux.HandleFunc("PUT /v1/results/{key}", s.handleStorePut)
 	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {

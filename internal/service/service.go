@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -452,6 +453,16 @@ func (s *Service) StoredResult(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return s.store.get(key)
+}
+
+// StoredKeys lists every key the result store can currently answer, sorted
+// (GET /v1/results). It is the inventory side of the replication surface:
+// the improuter front-end enumerates it during ring membership changes to
+// decide which results a joining or leaving backend must receive.
+func (s *Service) StoredKeys() []string {
+	keys := s.store.keys()
+	sort.Strings(keys)
+	return keys
 }
 
 // StoreResult publishes a finished result under key without running

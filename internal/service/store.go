@@ -28,6 +28,11 @@ func ResultKey(spec api.JobSpec) (string, error) {
 type resultStore interface {
 	get(key string) ([]byte, bool)
 	put(key string, data []byte)
+	// keys lists every key the store can currently answer (memory and, for
+	// the disk-backed store, the persistent directory). The improuter
+	// front-end enumerates it during ring membership changes to bulk-copy
+	// the key ranges a joining or leaving backend hands off.
+	keys() []string
 	stats() storeStats
 }
 
@@ -112,6 +117,16 @@ func (s *memStore) insertLocked(key string, data []byte) {
 		delete(s.entries, back.Value.(*memEntry).key)
 		s.ll.Remove(back)
 	}
+}
+
+func (s *memStore) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		out = append(out, key)
+	}
+	return out
 }
 
 func (s *memStore) stats() storeStats {

@@ -292,3 +292,50 @@ func BenchmarkStoreChurn(b *testing.B) {
 		s.get(keys[(i*7)%len(keys)])
 	}
 }
+
+// TestStoredKeysInventory: GET /v1/results enumerates the store — the
+// inventory the router's membership hand-off walks. The memory-only store
+// lists exactly its entries, sorted; a disk-backed store also lists
+// entries that exist only on disk (a restarted backend's full inventory,
+// before anything is promoted into memory), skipping files that are not
+// result entries.
+func TestStoredKeysInventory(t *testing.T) {
+	_, c := startService(t, Config{})
+	ctx := context.Background()
+	for i := 3; i > 0; i-- {
+		if err := c.PutStoredResult(ctx, testKey(i), []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.StoredKeys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != testKey(1) || keys[1] != testKey(2) || keys[2] != testKey(3) {
+		t.Fatalf("memory inventory: %v, want sorted keys 1..3", keys)
+	}
+
+	dir := t.TempDir()
+	svc1, c1 := startService(t, Config{ResultsDir: dir})
+	if err := c1.PutStoredResult(ctx, testKey(7), []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	closeCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	svc1.Close(closeCtx)
+	cancel()
+	// Foreign junk next to real entries must not appear in the inventory.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "zz.impresult"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err) // .impresult suffix but not a valid key
+	}
+	_, c2 := startService(t, Config{ResultsDir: dir})
+	keys, err = c2.StoredKeys(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != testKey(7) {
+		t.Fatalf("disk inventory after restart: %v, want just %s", keys, testKey(7))
+	}
+}
