@@ -49,7 +49,56 @@ type JobSpec struct {
 	// TimeoutSec bounds job execution in seconds (0: the service default).
 	// Excluded from the result key like Parallelism.
 	TimeoutSec int `json:"timeout_sec,omitempty"`
+
+	// Priority picks the scheduling lane: LaneInteractive jobs jump ahead
+	// of LaneBulk jobs in the service's queue, so sweep storms cannot
+	// starve small submits. Empty selects automatically — experiments and
+	// large sweeps are bulk, small sweeps interactive (EffectiveLane).
+	// Like Parallelism it is a scheduling hint, excluded from the result
+	// key: the same work yields the same bytes in either lane.
+	Priority Lane `json:"priority,omitempty"`
 }
+
+// TenantHeader is the request header naming the submitting tenant for
+// quota accounting ("X-Imp-Tenant"). It travels beside the spec — tenancy
+// is an admission concern, not an input to the work — so it never affects
+// the result key, and the improuter forwards it to backends untouched.
+// Requests without it share admission.DefaultTenant's bucket.
+const TenantHeader = "X-Imp-Tenant"
+
+// Lane names a scheduling priority class.
+type Lane string
+
+// The two lanes. Interactive is for latency-sensitive small jobs; bulk for
+// throughput work that tolerates queueing behind everything interactive.
+const (
+	LaneInteractive Lane = "interactive"
+	LaneBulk        Lane = "bulk"
+)
+
+// Lanes lists both lanes in display order (metrics and stats iterate it).
+var Lanes = []Lane{LaneInteractive, LaneBulk}
+
+// EffectiveLane resolves the spec's scheduling lane: an explicit Priority
+// wins; otherwise experiments (whole-table computations) and sweeps above
+// bulkThreshold points are bulk, and small sweeps are interactive.
+// bulkThreshold <= 0 selects the default of 16 points.
+func (s *JobSpec) EffectiveLane(bulkThreshold int) Lane {
+	if s.Priority != "" {
+		return s.Priority
+	}
+	if bulkThreshold <= 0 {
+		bulkThreshold = DefaultBulkThreshold
+	}
+	if s.Experiment != "" || len(s.Sweep) > bulkThreshold {
+		return LaneBulk
+	}
+	return LaneInteractive
+}
+
+// DefaultBulkThreshold is the sweep size beyond which an unlabeled job is
+// classified bulk.
+const DefaultBulkThreshold = 16
 
 // Validate reports whether the spec names exactly one kind of work.
 func (s *JobSpec) Validate() error {
@@ -60,6 +109,8 @@ func (s *JobSpec) Validate() error {
 		return fmt.Errorf("api: job spec names both sweep configs and experiment %q", s.Experiment)
 	case s.TimeoutSec < 0:
 		return fmt.Errorf("api: negative timeout_sec %d", s.TimeoutSec)
+	case s.Priority != "" && s.Priority != LaneInteractive && s.Priority != LaneBulk:
+		return fmt.Errorf("api: unknown priority %q (want %q or %q)", s.Priority, LaneInteractive, LaneBulk)
 	}
 	for i, cfg := range s.Sweep {
 		if cfg.Workload == "" {

@@ -1,0 +1,146 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Error is the single wire shape of every error body the impserve and
+// improuter HTTP surfaces produce:
+//
+//	{"error": "...", "code": "over_quota", "retry_after": 3}
+//
+// The "error" field is the pre-existing envelope (older clients that only
+// read it keep working); Code and RetryAfter are the typed additions. The
+// Go client returns *Error (with the HTTP status filled in) from every
+// failed call, so callers branch on Code or Status instead of string-
+// matching response bodies.
+type Error struct {
+	// Code classifies the failure; HTTPStatus maps it to a status code via
+	// the one table both servers use.
+	Code ErrorCode `json:"code,omitempty"`
+	// Message is the human-readable failure, serialized under "error" —
+	// the field name every pre-typed client already parses.
+	Message string `json:"error"`
+	// RetryAfter, in whole seconds, is the server's backoff hint for
+	// retryable rejections (queue full, over quota). It is mirrored in the
+	// Retry-After response header.
+	RetryAfter int `json:"retry_after,omitempty"`
+	// Status is the HTTP status the error traveled under. It is transport
+	// metadata, not body payload: the client fills it from the response,
+	// servers derive it from Code.
+	Status int `json:"-"`
+}
+
+// Error renders "<code> <status text>: <message>" when the HTTP status is
+// known (client side) and the bare message otherwise (server side,
+// pre-send).
+func (e *Error) Error() string {
+	if e.Status == 0 {
+		return e.Message
+	}
+	status := strconv.Itoa(e.Status)
+	if text := http.StatusText(e.Status); text != "" {
+		status += " " + text
+	}
+	if e.Message == "" {
+		return status
+	}
+	return status + ": " + e.Message
+}
+
+// ErrorCode names one failure class. The set is closed on purpose: every
+// writeError site in the service and router maps onto it, so clients can
+// switch on Code without worrying about ad-hoc strings.
+type ErrorCode string
+
+const (
+	// CodeInvalid: the request itself is malformed (bad spec, bad query
+	// parameter, bad result key). HTTP 400.
+	CodeInvalid ErrorCode = "invalid_argument"
+	// CodeUnauthorized: the admin surface rejected the bearer token. HTTP 401.
+	CodeUnauthorized ErrorCode = "unauthorized"
+	// CodeNotFound: unknown job id, unknown backend, store miss. HTTP 404.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict: the request is well-formed but the resource's state
+	// refuses it (result of an unfinished or failed job, removing the last
+	// ring member). HTTP 409.
+	CodeConflict ErrorCode = "conflict"
+	// CodeTooLarge: a body exceeded its bound. HTTP 413.
+	CodeTooLarge ErrorCode = "too_large"
+	// CodeOverQuota: the tenant's token bucket is empty; RetryAfter says
+	// when the next token lands. HTTP 429.
+	CodeOverQuota ErrorCode = "over_quota"
+	// CodeQueueFull: queue-depth admission control rejected the submission;
+	// RetryAfter estimates when capacity frees up. HTTP 429 — the job queue
+	// is load shedding, which is the client's cue to back off, not a server
+	// fault.
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeInternal: the server failed on its own. HTTP 500.
+	CodeInternal ErrorCode = "internal"
+	// CodeBadGateway: the router could not get an answer from any backend.
+	// HTTP 502.
+	CodeBadGateway ErrorCode = "bad_gateway"
+	// CodeUnavailable: the server is up but cannot take the request
+	// (draining, no healthy backends, in-flight slots saturated). HTTP 503.
+	CodeUnavailable ErrorCode = "unavailable"
+)
+
+// codeStatus is the one code→status table; HTTPStatus and StatusCode keep
+// the mapping bidirectional so the two can never drift.
+var codeStatus = map[ErrorCode]int{
+	CodeInvalid:      http.StatusBadRequest,
+	CodeUnauthorized: http.StatusUnauthorized,
+	CodeNotFound:     http.StatusNotFound,
+	CodeConflict:     http.StatusConflict,
+	CodeTooLarge:     http.StatusRequestEntityTooLarge,
+	CodeOverQuota:    http.StatusTooManyRequests,
+	CodeQueueFull:    http.StatusTooManyRequests,
+	CodeInternal:     http.StatusInternalServerError,
+	CodeBadGateway:   http.StatusBadGateway,
+	CodeUnavailable:  http.StatusServiceUnavailable,
+}
+
+// HTTPStatus maps the code to its HTTP status; unknown or empty codes are
+// an internal server error.
+func (c ErrorCode) HTTPStatus() int {
+	if s, ok := codeStatus[c]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeForStatus is the reverse mapping, used when a legacy write site only
+// knows the status it wants. Statuses shared by two codes resolve to the
+// more general one (429 → CodeOverQuota); unmapped 4xx become CodeInvalid
+// and everything else CodeInternal.
+func CodeForStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalid
+	case http.StatusUnauthorized:
+		return CodeUnauthorized
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusTooManyRequests:
+		return CodeOverQuota
+	case http.StatusBadGateway:
+		return CodeBadGateway
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	}
+	if status/100 == 4 {
+		return CodeInvalid
+	}
+	return CodeInternal
+}
+
+// Errorf builds a typed error the way fmt.Errorf builds an untyped one.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}

@@ -14,12 +14,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"github.com/impsim/imp"
 	"github.com/impsim/imp/api"
@@ -30,6 +33,8 @@ type Client struct {
 	base       string
 	hc         *http.Client
 	adminToken string
+	tenant     string
+	streamIdle time.Duration
 }
 
 // New returns a client for the service at base (e.g. "http://host:8080").
@@ -48,6 +53,27 @@ func New(base string, httpClient *http.Client) *Client {
 // endpoints ignore the header.
 func (c *Client) SetAdminToken(token string) {
 	c.adminToken = token
+}
+
+// SetTenant attaches the api.TenantHeader to every request this client
+// sends, identifying it for per-tenant submission quotas. Empty (the
+// default) shares the server's default-tenant bucket.
+func (c *Client) SetTenant(tenant string) {
+	c.tenant = tenant
+}
+
+// ErrStreamIdle reports an event stream aborted by SetStreamIdleTimeout:
+// the connection stayed open but no event line arrived within the window.
+var ErrStreamIdle = errors.New("client: event stream idle timeout")
+
+// SetStreamIdleTimeout bounds the silence Stream tolerates between NDJSON
+// event lines (and before the first one); past it the stream is aborted
+// with ErrStreamIdle. Zero (the default) waits indefinitely, relying on
+// the context alone. Note the window spans queue wait too: a job parked
+// behind a deep queue emits nothing until it starts, so pick a timeout
+// with the service's backlog in mind, not just its per-point pace.
+func (c *Client) SetStreamIdleTimeout(d time.Duration) {
+	c.streamIdle = d
 }
 
 // Backends lists the router's current ring membership (GET /v1/backends).
@@ -93,6 +119,36 @@ func (c *Client) StoredKeys(ctx context.Context) ([]string, error) {
 	var out []string
 	err := c.doJSON(ctx, http.MethodGet, "/v1/results", nil, &out)
 	return out, err
+}
+
+// ServiceStats fetches one impserve backend's counters (GET /v1/stats).
+func (c *Client) ServiceStats(ctx context.Context) (api.ServiceStats, error) {
+	var st api.ServiceStats
+	err := c.doJSON(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// RouterStats fetches an improuter front-end's aggregated counters
+// (GET /v1/stats). Only meaningful against a router; a backend's stats
+// document decodes into the zero aggregate.
+func (c *Client) RouterStats(ctx context.Context) (api.StatsResponse, error) {
+	var st api.StatsResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Metrics fetches the server's Prometheus text exposition (GET /metrics).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", responseError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
 }
 
 // Submit sends spec; the returned status carries the job id, its result
@@ -207,9 +263,30 @@ func (c *Client) PutStoredResult(ctx context.Context, key string, data []byte) e
 // onEvent per event (including the terminal one), and returns once the
 // terminal event arrives. onEvent may be nil to just wait for completion.
 func (c *Client) Stream(ctx context.Context, id string, seq int, onEvent func(api.Event)) error {
+	// The idle watchdog cancels a derived context when no event line has
+	// arrived for streamIdle; each line rearms it. Cancellation through a
+	// context (rather than closing the body) keeps the abort race-free with
+	// the transport, and the idle flag distinguishes our deadline from the
+	// caller's own cancellation.
+	var idle atomic.Bool
+	var watchdog *time.Timer
+	sctx := ctx
+	if c.streamIdle > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		watchdog = time.AfterFunc(c.streamIdle, func() {
+			idle.Store(true)
+			cancel()
+		})
+		defer watchdog.Stop()
+	}
 	path := "/v1/jobs/" + url.PathEscape(id) + "/events?from=" + strconv.Itoa(seq)
-	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	resp, err := c.do(sctx, http.MethodGet, path, nil)
 	if err != nil {
+		if idle.Load() {
+			return fmt.Errorf("%w: no response for job %s in %s", ErrStreamIdle, id, c.streamIdle)
+		}
 		return err
 	}
 	defer resp.Body.Close()
@@ -219,6 +296,9 @@ func (c *Client) Stream(ctx context.Context, id string, seq int, onEvent func(ap
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
+		if watchdog != nil {
+			watchdog.Reset(c.streamIdle)
+		}
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -235,7 +315,13 @@ func (c *Client) Stream(ctx context.Context, id string, seq int, onEvent func(ap
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if idle.Load() {
+			return fmt.Errorf("%w: no event for job %s in %s", ErrStreamIdle, id, c.streamIdle)
+		}
 		return fmt.Errorf("client: event stream: %w", err)
+	}
+	if idle.Load() {
+		return fmt.Errorf("%w: no event for job %s in %s", ErrStreamIdle, id, c.streamIdle)
 	}
 	return fmt.Errorf("client: event stream ended before the terminal event")
 }
@@ -280,6 +366,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	if c.adminToken != "" {
 		req.Header.Set("Authorization", "Bearer "+c.adminToken)
 	}
+	if c.tenant != "" {
+		req.Header.Set(api.TenantHeader, c.tenant)
+	}
 	return c.hc.Do(req)
 }
 
@@ -295,28 +384,30 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, o
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// responseError surfaces the service's {"error": ...} payload behind a
-// status line that always carries the human-readable status text — a
-// router-originated 502/503 must be diagnosable even when the transport
-// reported only a bare code or the body is empty.
+// responseError surfaces the service's typed api.Error payload: the
+// returned error wraps a *api.Error with Status filled from the response,
+// so callers branch with errors.As on Code/Status/RetryAfter instead of
+// string-matching — the rendered string still always carries the numeric
+// status and its human-readable text, so a router-originated 502/503 is
+// diagnosable even when the body is empty or not the typed envelope.
 func responseError(resp *http.Response) error {
-	status := strings.TrimSpace(resp.Status)
-	if status == "" || status == strconv.Itoa(resp.StatusCode) {
-		if text := http.StatusText(resp.StatusCode); text != "" {
-			status = fmt.Sprintf("%d %s", resp.StatusCode, text)
-		} else {
-			status = strconv.Itoa(resp.StatusCode)
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	e := &api.Error{Status: resp.StatusCode}
+	if json.Unmarshal(data, e) != nil || e.Message == "" {
+		// Not the typed envelope (a proxy in the middle, a panic page):
+		// classify from the status and keep whatever body text there was.
+		e = &api.Error{
+			Status:  resp.StatusCode,
+			Message: string(bytes.TrimSpace(data)),
 		}
 	}
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
-		Error string `json:"error"`
+	if e.Code == "" {
+		e.Code = api.CodeForStatus(resp.StatusCode)
 	}
-	if json.Unmarshal(data, &e) == nil && e.Error != "" {
-		return fmt.Errorf("client: %s: %s", status, e.Error)
+	if e.RetryAfter == 0 {
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			e.RetryAfter = v
+		}
 	}
-	if body := bytes.TrimSpace(data); len(body) > 0 {
-		return fmt.Errorf("client: %s: %s", status, body)
-	}
-	return fmt.Errorf("client: %s", status)
+	return fmt.Errorf("client: %w", e)
 }

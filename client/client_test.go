@@ -7,11 +7,13 @@ package client
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/impsim/imp/api"
 )
@@ -146,5 +148,112 @@ func TestResponseErrorBareStatusCode(t *testing.T) {
 		if !strings.Contains(err.Error(), "503 Service Unavailable") {
 			t.Errorf("Status=%q: text not reconstructed: %v", status, err)
 		}
+	}
+}
+
+// TestTypedErrorSurfaced: every failed call wraps a *api.Error carrying
+// the code, status and retry hint, so callers branch with errors.As
+// instead of string-matching the message.
+func TestTypedErrorSurfaced(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error": "tenant \"ta\" over submission quota", "code": "over_quota", "retry_after": 7}`))
+	})
+	_, err := c.Submit(context.Background(), api.JobSpec{Experiment: "fig2"})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("no *api.Error in chain: %v", err)
+	}
+	if apiErr.Code != api.CodeOverQuota || apiErr.Status != http.StatusTooManyRequests || apiErr.RetryAfter != 7 {
+		t.Fatalf("typed fields wrong: %+v", apiErr)
+	}
+	if !strings.Contains(err.Error(), "429") || !strings.Contains(err.Error(), "over submission quota") {
+		t.Errorf("rendered error lost status or message: %v", err)
+	}
+}
+
+// TestTypedErrorFromUntypedBody: an untyped error body (an old server, a
+// proxy page) still yields a *api.Error classified from the status code,
+// with the retry hint recovered from the Retry-After header.
+func TestTypedErrorFromUntypedBody(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		http.Error(w, "slow down", http.StatusTooManyRequests)
+	})
+	_, err := c.Status(context.Background(), "j-000001")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("no *api.Error in chain: %v", err)
+	}
+	if apiErr.Code != api.CodeOverQuota || apiErr.RetryAfter != 3 {
+		t.Fatalf("fallback classification wrong: %+v", apiErr)
+	}
+}
+
+// TestStreamIdleTimeout: a backend that sends one event and then stalls —
+// wedged executor, dead TCP peer behind a proxy that keeps the socket
+// open — must not hang a Stream caller forever once an idle timeout is
+// set. Regression test for the hang: before the watchdog existed this
+// blocked until the server process exited.
+func TestStreamIdleTimeout(t *testing.T) {
+	blocked := make(chan struct{})
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"seq":0,"workload":"spmv","total":2,"done":1}` + "\n"))
+		w.(http.Flusher).Flush()
+		<-blocked // stall mid-job with the connection open
+	})
+	t.Cleanup(func() { close(blocked) })
+	c.SetStreamIdleTimeout(50 * time.Millisecond)
+	var events int
+	start := time.Now()
+	err := c.Stream(context.Background(), "j-000001", 0, func(api.Event) { events++ })
+	if !errors.Is(err, ErrStreamIdle) {
+		t.Fatalf("stalled stream error = %v, want ErrStreamIdle", err)
+	}
+	if events != 1 {
+		t.Errorf("events before stall = %d, want 1", events)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("idle abort took %s", waited)
+	}
+}
+
+// TestStreamIdleTimeoutNotTrippedByProgress: a stream that keeps producing
+// events slower than the watchdog window per batch but faster than the
+// window per event must complete normally — the timer rearms per line.
+func TestStreamIdleTimeoutNotTrippedByProgress(t *testing.T) {
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl := w.(http.Flusher)
+		for i := 0; i < 4; i++ {
+			w.Write([]byte(`{"seq":` + string(rune('0'+i)) + `,"done":1}` + "\n"))
+			fl.Flush()
+			time.Sleep(30 * time.Millisecond)
+		}
+		w.Write([]byte(`{"seq":4,"state":"done"}` + "\n"))
+	})
+	c.SetStreamIdleTimeout(250 * time.Millisecond)
+	if err := c.Stream(context.Background(), "j-000001", 0, nil); err != nil {
+		t.Fatalf("paced stream tripped the watchdog: %v", err)
+	}
+}
+
+// TestTenantHeaderSent: SetTenant rides on every request.
+func TestTenantHeaderSent(t *testing.T) {
+	var got string
+	c := stub(t, func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(api.TenantHeader)
+		w.Write([]byte(`{"id":"j-000001","key":"k","state":"queued"}`))
+	})
+	c.SetTenant("team-a")
+	if _, err := c.Submit(context.Background(), api.JobSpec{Experiment: "fig2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "team-a" {
+		t.Fatalf("tenant header = %q, want team-a", got)
 	}
 }

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-profile") {
+		t.Error("help output missing flags")
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestUnknownProfileExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-profile", "chaos"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown profile exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "chaos") {
+		t.Errorf("error does not name the bad profile: %s", errb.String())
+	}
+}
+
+func TestUnreachableTargetExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-target", "http://127.0.0.1:1", "-ready-timeout", "300ms", "-duration", "1s"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("unreachable target exited %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "not ready") {
+		t.Errorf("error does not explain the readiness failure: %s", errb.String())
+	}
+}
+
+// TestSelfHostedSoak is the end-to-end path CI's soak job runs, shrunk:
+// a short mixed-profile run against an in-process cluster must close its
+// accounting (ok + rejected + errors = submits), record latencies, pass the
+// zero-error and zero-recompute gates, and write a parseable snapshot.
+func TestSelfHostedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping soak")
+	}
+	outFile := filepath.Join(t.TempDir(), "LOAD_test.json")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-backends", "1", "-profile", "mixed", "-duration", "2s", "-clients", "4",
+		"-seed", "7", "-out", outFile, "-max-error-rate", "0", "-fail-on-recompute",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("soak exited %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot not parseable: %v\n%s", err, data)
+	}
+	if snap.Schema != 1 || snap.Profile != "mixed" || snap.Clients != 4 {
+		t.Errorf("snapshot header wrong: %+v", snap)
+	}
+	if snap.Ops.Submits == 0 {
+		t.Fatal("soak made no submissions")
+	}
+	if got := snap.Ops.OK + snap.Ops.Rejected + snap.Ops.Errors; got != snap.Ops.Submits {
+		t.Errorf("accounting does not close: ok+rejected+errors = %d, submits = %d", got, snap.Ops.Submits)
+	}
+	if snap.Ops.Errors != 0 || snap.ErrorRate != 0 {
+		t.Errorf("errors in a clean soak: %+v", snap.Ops)
+	}
+	if snap.Recomputes != 0 {
+		t.Errorf("fresh cluster recomputed %d key(s); executed delta %d over %d distinct keys",
+			snap.Recomputes, snap.ExecutedDelta, snap.DistinctKeys)
+	}
+	sub, ok := snap.Latency["submit"]
+	if !ok || sub.Count == 0 || sub.P50ms <= 0 || sub.P99ms < sub.P50ms {
+		t.Errorf("submit latency summary malformed: %+v", sub)
+	}
+}
+
+// TestProfilesGenerateValidSpecs: every profile's generator must emit specs
+// the API accepts — an invalid spec would count as an error mid-soak and
+// poison the gate for the wrong reason.
+func TestProfilesGenerateValidSpecs(t *testing.T) {
+	for _, profile := range []string{"mixed", "hotkey", "dupes", "stream", "slowread", "bulk"} {
+		gen, err := newSpecGen(profile, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			spec, delay := gen.next(rng)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("%s: generated invalid spec: %v", profile, err)
+			}
+			if delay < 0 {
+				t.Fatalf("%s: negative read delay", profile)
+			}
+			if profile == "slowread" && delay == 0 {
+				t.Errorf("slowread generated no read delay")
+			}
+		}
+	}
+}
+
+// TestHotkeyProfileSkews: the hot-key profile must actually collide — the
+// overwhelming majority of generated specs share one spec (and so one
+// result key).
+func TestHotkeyProfileSkews(t *testing.T) {
+	gen, err := newSpecGen("hotkey", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	hot := 0
+	for i := 0; i < 500; i++ {
+		spec, _ := gen.next(rng)
+		if len(spec.Sweep) == len(gen.hot.Sweep) && spec.Sweep[0] == gen.hot.Sweep[0] {
+			hot++
+		}
+	}
+	if hot < 400 {
+		t.Errorf("hot spec generated only %d/500 times; skew too weak", hot)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.50, 5}, {0.95, 10}, {0.99, 10}, {0.10, 1}} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%.0f = %v, want %v", tc.p*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestRecorderAccounting(t *testing.T) {
+	rec := newRecorder()
+	rec.observe("submit", 10*time.Millisecond)
+	rec.observe("submit", 20*time.Millisecond)
+	rec.observe("submit", 30*time.Millisecond)
+	rec.done("k1", 50*time.Millisecond)
+	rec.done("k1", 60*time.Millisecond) // duplicate key: distinct stays 1
+	rec.rejected(3)
+	snap := rec.snapshot()
+	if snap.Ops.Submits != 3 || snap.Ops.OK != 2 || snap.Ops.Rejected != 1 {
+		t.Errorf("ops wrong: %+v", snap.Ops)
+	}
+	if snap.DistinctKeys != 1 {
+		t.Errorf("distinct keys = %d, want 1", snap.DistinctKeys)
+	}
+	if snap.Latency["stream"].Count != 2 {
+		t.Errorf("stream latency count = %d, want 2", snap.Latency["stream"].Count)
+	}
+}

@@ -30,6 +30,11 @@
 // submit time — so killing or restarting a backend does not cost the
 // fleet its cached results. Virtual-node placement hashes by backend
 // address, so reordering -backends preserves every key's ownership.
+//
+// GET /metrics serves Prometheus text exposition for the router and its
+// per-backend counters; -quota-rate/-quota-burst enforce per-tenant
+// submission quotas at the front door (X-Imp-Tenant header, 429 +
+// Retry-After) before any backend is contacted.
 package main
 
 import (
@@ -59,17 +64,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("improuter", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", ":8090", "listen address")
-		backends = fs.String("backends", "", "comma-separated impserve base URLs (required; initial ring membership)")
-		vnodes   = fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
-		replicas = fs.Int("replicas", 2, "backends holding each result (owner + replicas-1 ring successors); 1 disables replication")
-		replPoll = fs.Duration("replica-poll", 250*time.Millisecond, "poll period while waiting for a job to finish before replicating its result")
-		inflight = fs.Int("inflight", 64, "max concurrently proxied requests per backend")
-		retries  = fs.Int("retries", router.RetriesAll, "extra backends tried per submit after the owner fails (0 = none, -1 = all remaining)")
-		interval = fs.Duration("health-interval", 2*time.Second, "backend health probe period")
-		probeTO  = fs.Duration("health-timeout", time.Second, "single health probe timeout")
-		token    = fs.String("admin-token", "", "bearer token required on the /v1/backends membership surface (empty = open)")
-		drain    = fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight proxied requests")
+		addr       = fs.String("addr", ":8090", "listen address")
+		backends   = fs.String("backends", "", "comma-separated impserve base URLs (required; initial ring membership)")
+		vnodes     = fs.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		replicas   = fs.Int("replicas", 2, "backends holding each result (owner + replicas-1 ring successors); 1 disables replication")
+		replPoll   = fs.Duration("replica-poll", 250*time.Millisecond, "poll period while waiting for a job to finish before replicating its result")
+		inflight   = fs.Int("inflight", 64, "max concurrently proxied requests per backend")
+		retries    = fs.Int("retries", router.RetriesAll, "extra backends tried per submit after the owner fails (0 = none, -1 = all remaining)")
+		interval   = fs.Duration("health-interval", 2*time.Second, "backend health probe period")
+		probeTO    = fs.Duration("health-timeout", time.Second, "single health probe timeout")
+		token      = fs.String("admin-token", "", "bearer token required on the /v1/backends membership surface (empty = open)")
+		drain      = fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight proxied requests")
+		quotaRate  = fs.Float64("quota-rate", 0, "per-tenant submissions/sec admitted at the router before any backend is contacted (0 = quotas off)")
+		quotaBurst = fs.Float64("quota-burst", 0, "per-tenant burst above -quota-rate (0 = rate, min 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -134,6 +141,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		HealthInterval: *interval,
 		HealthTimeout:  *probeTO,
 		AdminToken:     *token,
+		QuotaRate:      *quotaRate,
+		QuotaBurst:     *quotaBurst,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "improuter:", err)

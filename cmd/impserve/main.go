@@ -18,6 +18,11 @@
 //	curl -s localhost:8080/v1/jobs/j-000001/events
 //	curl -s localhost:8080/v1/jobs/j-000001/result
 //
+// GET /metrics serves Prometheus text exposition; -quota-rate/-quota-burst
+// enable per-tenant submission quotas (X-Imp-Tenant header, 429 +
+// Retry-After on rejection) and -bulk-threshold tunes which sweeps are
+// classed as bulk for the two-lane queue.
+//
 // The process drains gracefully on SIGINT/SIGTERM: the listener stops, and
 // running jobs get -drain to finish before being canceled.
 package main
@@ -48,14 +53,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("impserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		queue     = fs.Int("queue", 64, "bounded job queue depth (submissions beyond it get 503)")
-		executors = fs.Int("executors", 2, "max concurrently running jobs")
-		parallel  = fs.Int("j", 0, "total in-flight simulations across all jobs (0 = all CPUs)")
-		timeout   = fs.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
-		results   = fs.Int("results", 256, "result cache entries (content-addressed, in-memory)")
-		resultDir = fs.String("results-dir", "", "persist results to this directory (CRC-checked files; a restarted server comes back warm)")
-		drain     = fs.Duration("drain", 30*time.Second, "shutdown grace before running jobs are canceled")
+		addr       = fs.String("addr", ":8080", "listen address")
+		queue      = fs.Int("queue", 64, "bounded job queue depth (submissions beyond it get 429 + Retry-After)")
+		executors  = fs.Int("executors", 2, "max concurrently running jobs")
+		parallel   = fs.Int("j", 0, "total in-flight simulations across all jobs (0 = all CPUs)")
+		timeout    = fs.Duration("job-timeout", 15*time.Minute, "per-job execution timeout")
+		results    = fs.Int("results", 256, "result cache entries (content-addressed, in-memory)")
+		resultDir  = fs.String("results-dir", "", "persist results to this directory (CRC-checked files; a restarted server comes back warm)")
+		drain      = fs.Duration("drain", 30*time.Second, "shutdown grace before running jobs are canceled")
+		quotaRate  = fs.Float64("quota-rate", 0, "per-tenant submissions/sec admitted before 429 (0 = quotas off)")
+		quotaBurst = fs.Float64("quota-burst", 0, "per-tenant burst above -quota-rate (0 = rate, min 1)")
+		bulkThresh = fs.Int("bulk-threshold", 0, "sweeps larger than this run in the bulk lane (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -74,12 +82,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	svc := service.New(service.Config{
-		QueueDepth:   *queue,
-		Executors:    *executors,
-		Parallelism:  *parallel,
-		JobTimeout:   *timeout,
-		StoreEntries: *results,
-		ResultsDir:   *resultDir,
+		QueueDepth:    *queue,
+		Executors:     *executors,
+		Parallelism:   *parallel,
+		JobTimeout:    *timeout,
+		StoreEntries:  *results,
+		ResultsDir:    *resultDir,
+		QuotaRate:     *quotaRate,
+		QuotaBurst:    *quotaBurst,
+		BulkThreshold: *bulkThresh,
 	})
 	srv := &http.Server{Handler: svc.Handler()}
 

@@ -1,0 +1,120 @@
+// Package admission implements per-tenant token-bucket quotas for the
+// impserve/improuter submit path. Each tenant (the X-Imp-Tenant request
+// header; missing headers collapse into one shared default tenant) gets a
+// bucket refilled at a configured rate up to a burst cap; a submission
+// spends one token or is rejected with a Retry-After hint saying when the
+// next token lands.
+//
+// Buckets live in a size-bounded LRU map so an adversarial client cycling
+// tenant names cannot grow the limiter without bound: evicting a tenant
+// forgets only its spend history, and a re-appearing tenant starts with a
+// full burst — strictly more permissive, never less, so eviction can't
+// lock anyone out.
+package admission
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the bucket key for requests that carry no tenant header.
+const DefaultTenant = "default"
+
+// MaxTenants bounds the number of live buckets; least-recently-used
+// tenants are evicted past it.
+const MaxTenants = 4096
+
+// Limiter is a set of per-tenant token buckets. The zero value is not
+// usable; construct with New. A nil *Limiter is a valid no-op limiter that
+// admits everything (quotas disabled).
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu  sync.Mutex
+	by  map[string]*list.Element
+	lru *list.List // front = most recently used; element value: *bucket
+
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	tenant string
+	tokens float64
+	last   time.Time
+}
+
+// New builds a limiter granting each tenant rate tokens/second with the
+// given burst capacity. rate <= 0 disables quotas (returns nil, the no-op
+// limiter); burst <= 0 defaults to max(rate, 1) so a configured rate is
+// always usable.
+func New(rate, burst float64) *Limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &Limiter{
+		rate:  rate,
+		burst: burst,
+		by:    make(map[string]*list.Element),
+		lru:   list.New(),
+		now:   time.Now,
+	}
+}
+
+// Allow spends one token from tenant's bucket. It returns ok=true when the
+// submission is admitted; otherwise retryAfter is the whole-second hint
+// (>= 1) for when the next token lands, suitable for a Retry-After header.
+// An empty tenant maps to DefaultTenant.
+func (l *Limiter) Allow(tenant string) (ok bool, retryAfter int) {
+	if l == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.bucketFor(tenant, now)
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Seconds until the deficit refills, rounded up, floored at 1 so the
+	// header is never "Retry-After: 0".
+	wait := (1 - b.tokens) / l.rate
+	return false, int(math.Max(1, math.Ceil(wait)))
+}
+
+// Tenants reports the number of live buckets (for stats/tests).
+func (l *Limiter) Tenants() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.by)
+}
+
+func (l *Limiter) bucketFor(tenant string, now time.Time) *bucket {
+	if e, hit := l.by[tenant]; hit {
+		l.lru.MoveToFront(e)
+		return e.Value.(*bucket)
+	}
+	for len(l.by) >= MaxTenants {
+		oldest := l.lru.Back()
+		l.lru.Remove(oldest)
+		delete(l.by, oldest.Value.(*bucket).tenant)
+	}
+	b := &bucket{tenant: tenant, tokens: l.burst, last: now}
+	l.by[tenant] = l.lru.PushFront(b)
+	return b
+}

@@ -1,0 +1,166 @@
+package admission
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock swaps the limiter's clock for deterministic refill tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestLimiter(rate, burst float64) (*Limiter, *fakeClock) {
+	l := New(rate, burst)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clk.now
+	return l, clk
+}
+
+func TestBurstThenReject(t *testing.T) {
+	l, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst submit %d rejected", i)
+		}
+	}
+	ok, retry := l.Allow("a")
+	if ok {
+		t.Fatal("4th submit admitted past burst")
+	}
+	if retry < 1 {
+		t.Fatalf("retryAfter = %d, want >= 1", retry)
+	}
+}
+
+func TestRefill(t *testing.T) {
+	l, clk := newTestLimiter(2, 2) // 2 tokens/s
+	l.Allow("a")
+	l.Allow("a")
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("admitted with empty bucket")
+	}
+	clk.advance(500 * time.Millisecond) // refills exactly 1 token
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("rejected after refill")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("admitted twice off one refilled token")
+	}
+}
+
+func TestRetryAfterMatchesRate(t *testing.T) {
+	l, _ := newTestLimiter(0.1, 1) // one token per 10s
+	l.Allow("a")
+	_, retry := l.Allow("a")
+	if retry != 10 {
+		t.Fatalf("retryAfter = %d, want 10", retry)
+	}
+}
+
+func TestTenantsIsolated(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	l.Allow("a")
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("tenant a admitted past burst")
+	}
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("tenant b affected by tenant a's spend")
+	}
+}
+
+func TestEmptyTenantIsDefault(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	l.Allow("")
+	if ok, _ := l.Allow(DefaultTenant); ok {
+		t.Fatal(`"" and DefaultTenant use separate buckets`)
+	}
+}
+
+func TestNilLimiterAdmitsEverything(t *testing.T) {
+	var l *Limiter
+	if l = New(0, 5); l != nil {
+		t.Fatal("rate<=0 should build the nil no-op limiter")
+	}
+	for i := 0; i < 100; i++ {
+		if ok, retry := l.Allow("x"); !ok || retry != 0 {
+			t.Fatalf("nil limiter rejected: ok=%v retry=%d", ok, retry)
+		}
+	}
+	if l.Tenants() != 0 {
+		t.Fatal("nil limiter tracks tenants")
+	}
+}
+
+func TestDefaultBurst(t *testing.T) {
+	l := New(5, 0)
+	if l.burst != 5 {
+		t.Fatalf("burst = %v, want rate (5)", l.burst)
+	}
+	l = New(0.2, 0)
+	if l.burst != 1 {
+		t.Fatalf("burst = %v, want 1", l.burst)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	// Fill to the cap, spending tenant 0's token first.
+	for i := 0; i < MaxTenants; i++ {
+		l.Allow(fmt.Sprintf("t%d", i))
+	}
+	if l.Tenants() != MaxTenants {
+		t.Fatalf("tenants = %d, want %d", l.Tenants(), MaxTenants)
+	}
+	// One more tenant evicts the least-recently-used (t0).
+	l.Allow("fresh")
+	if l.Tenants() != MaxTenants {
+		t.Fatalf("tenants = %d after eviction, want %d", l.Tenants(), MaxTenants)
+	}
+	// t0 was evicted with an empty bucket; re-appearing it gets a full
+	// burst again — eviction is never a lockout.
+	if ok, _ := l.Allow("t0"); !ok {
+		t.Fatal("re-appearing evicted tenant rejected")
+	}
+}
+
+func TestConcurrentAllow(t *testing.T) {
+	l, _ := newTestLimiter(1, 50)
+	var wg sync.WaitGroup
+	admitted := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 25; j++ {
+				if ok, _ := l.Allow("shared"); ok {
+					admitted[i]++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range admitted {
+		total += n
+	}
+	// Fixed clock: exactly the burst is admitted, never more.
+	if total != 50 {
+		t.Fatalf("admitted %d, want exactly 50 (the burst)", total)
+	}
+}

@@ -1,15 +1,19 @@
 // Package httpx holds the response envelope shared by every HTTP surface
 // of the experiment service — the impserve backends (internal/service) and
 // the improuter front-end (internal/router). The shape is wire contract:
-// client/responseError parses the {"error": ...} object, and the indented
-// JSON with a trailing newline is what the router relays verbatim, so the
-// two servers must never drift apart. Like internal/jobkey, one definition
-// on purpose.
+// client/responseError parses the api.Error body, and the indented JSON
+// with a trailing newline is what the router relays verbatim, so the two
+// servers must never drift apart. Like internal/jobkey, one definition on
+// purpose.
 package httpx
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"strconv"
+
+	"github.com/impsim/imp/api"
 )
 
 // WriteJSON writes v as indented JSON with a trailing newline.
@@ -24,9 +28,28 @@ func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(data, '\n'))
 }
 
-// WriteError writes the {"error": ...} envelope the client package parses.
+// WriteError writes the typed api.Error body ({"error": ..., "code": ...}).
+// When err is or wraps an *api.Error its code and retry hint are used
+// verbatim (and a RetryAfter is mirrored into the Retry-After header);
+// plain errors are classified from the status code alone, keeping legacy
+// write sites on the typed wire shape without touching them.
 func WriteError(w http.ResponseWriter, code int, err error) {
+	body := &api.Error{Code: api.CodeForStatus(code), Message: err.Error()}
+	var typed *api.Error
+	if errors.As(err, &typed) {
+		body.Code = typed.Code
+		body.Message = typed.Message
+		body.RetryAfter = typed.RetryAfter
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if body.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfter))
+	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(body)
+}
+
+// WriteAPIError writes a typed error under the status its code maps to.
+func WriteAPIError(w http.ResponseWriter, e *api.Error) {
+	WriteError(w, e.Code.HTTPStatus(), e)
 }

@@ -22,12 +22,15 @@ import (
 // cache key (internal/progcache), it covers everything the output depends
 // on: the normalized spec plus the trace format and workload generator
 // versions, so bumping either invalidates stale results implicitly.
-// Parallelism and timeout are execution hints, not inputs — results are
-// byte-identical at any setting — so they are zeroed out of the key.
+// Parallelism, timeout and priority are execution hints, not inputs —
+// results are byte-identical at any setting — so they are zeroed out of
+// the key (an interactive and a bulk submission of the same work share
+// one cached result).
 func ResultKey(spec api.JobSpec) (string, error) {
 	spec.Normalize()
 	spec.Parallelism = 0
 	spec.TimeoutSec = 0
+	spec.Priority = ""
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return "", fmt.Errorf("jobkey: keying job spec: %w", err)

@@ -1,0 +1,487 @@
+// Package metrics is a dependency-free Prometheus client: a registry of
+// counters, gauges and histograms (optionally labeled) that renders the
+// text exposition format on GET /metrics. impserve and improuter each own
+// one Registry; their /v1/stats JSON documents are thin views over the same
+// underlying values, so dashboards, alerting and the bespoke JSON can never
+// disagree.
+//
+// Only the slice of the exposition format the repo needs is implemented:
+//
+//   - counter, gauge and (cumulative-bucket) histogram families;
+//   - HELP/TYPE comment lines, label escaping, deterministic output order
+//     (families sorted by name, series sorted by label values);
+//   - func-backed families, for values whose source of truth already lives
+//     elsewhere (service counters under their own mutex, per-backend
+//     atomics that come and go with ring membership).
+//
+// Instrument values are atomics; registration is not expected after
+// serving starts but is mutex-guarded anyway. Registration mistakes
+// (invalid names, duplicates) panic: they are programmer errors a unit
+// test hits immediately, not runtime conditions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a metric family's advertised type.
+type Type string
+
+// The supported family types.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// DurationBuckets is the default histogram layout for request and job
+// latencies: 1ms to 60s, roughly geometric. Sub-millisecond work saturates
+// the first bucket and anything over a minute the last — both ends are
+// outside the latency range the fleet promises, so resolution is spent in
+// the middle.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implied
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sample is one func-backed series: label values (matching the family's
+// label names) and the current value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// maxVecSeries bounds the distinct label sets one vec family retains.
+// Labels like tenant names are caller-controlled; beyond the bound new
+// label sets collapse into a catch-all "_other" series so an adversarial
+// client cannot grow the registry without bound.
+const maxVecSeries = 512
+
+// CounterVec is a counter family with one counter per label-value set.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label values (created on first
+// use; collapsed to the "_other" series past the family's series bound).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	s := v.fam.series(labelValues)
+	return s.counter
+}
+
+// Total sums every series in the family.
+func (v *CounterVec) Total() uint64 {
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	var total uint64
+	for _, s := range v.fam.byKey {
+		total += s.counter.Value()
+	}
+	return total
+}
+
+// GaugeVec is a gauge family with one gauge per label-value set.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.fam.series(labelValues).gauge
+}
+
+// HistogramVec is a histogram family with one histogram per label-value set.
+type HistogramVec struct {
+	fam *family
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.fam.series(labelValues).hist
+}
+
+// series is one (labelSet -> instrument) entry of a vec family; exactly one
+// of the instrument fields is non-nil, per the family type.
+type series struct {
+	labels  []string
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is one named metric family.
+type family struct {
+	name   string
+	help   string
+	typ    Type
+	labels []string
+
+	// Static families: series instruments, keyed by joined label values.
+	mu    sync.Mutex
+	byKey map[string]*series
+	order []string // insertion order of keys; sorted at write time
+
+	// Histogram families share bucket bounds across series.
+	bounds []float64
+
+	// Func families: fn is called at write time and its samples rendered
+	// instead of byKey. For histograms fn is unsupported (nothing needs it).
+	fn func() []Sample
+}
+
+func (f *family) series(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label value(s), got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	if len(f.byKey) >= maxVecSeries {
+		// Collapse into the catch-all series rather than growing without
+		// bound; create it if this is the first overflow.
+		other := make([]string, len(f.labels))
+		for i := range other {
+			other[i] = "_other"
+		}
+		key = strings.Join(other, "\x00")
+		if s, ok := f.byKey[key]; ok {
+			return s
+		}
+		labelValues = other
+	}
+	s := &series{labels: append([]string(nil), labelValues...)}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = newHistogram(f.bounds)
+	}
+	f.byKey[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Registry holds metric families and renders them as text exposition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	nameRe  = `^[a-zA-Z_:][a-zA-Z0-9_:]*$`
+	labelRe = `^[a-zA-Z_][a-zA-Z0-9_]*$`
+)
+
+func validName(s, re string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c == ':' && re == nameRe) || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, typ Type, labels []string, bounds []float64, fn func() []Sample) *family {
+	if !validName(name, nameRe) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l, labelRe) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, name))
+		}
+	}
+	if typ == TypeHistogram {
+		if fn != nil {
+			panic(fmt.Sprintf("metrics: func-backed histogram %q unsupported", name))
+		}
+		if len(bounds) == 0 {
+			bounds = DurationBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("metrics: unsorted buckets on %q", name))
+		}
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		byKey:  make(map[string]*series),
+		bounds: bounds, fn: fn,
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, TypeCounter, nil, nil, nil)
+	return f.series(nil).counter
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, TypeCounter, labels, nil, nil)}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil, nil)
+	return f.series(nil).gauge
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, TypeGauge, labels, nil, nil)}
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil selects DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, TypeHistogram, nil, bounds, nil)
+	return f.series(nil).hist
+}
+
+// HistogramVec registers a labeled histogram family (nil bounds selects
+// DurationBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, TypeHistogram, labels, bounds, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — for counts whose source of truth already lives elsewhere.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeCounter, nil, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, TypeGauge, nil, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// SampleFunc registers a labeled family whose series are produced by fn at
+// scrape time — for per-entity values where the entity set changes at
+// runtime (per-backend counters under live ring membership).
+func (r *Registry) SampleFunc(name, help string, typ Type, labels []string, fn func() []Sample) {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic(fmt.Sprintf("metrics: SampleFunc %q: unsupported type %q", name, typ))
+	}
+	r.register(name, help, typ, labels, nil, fn)
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, HELP and TYPE comments first,
+// series sorted by label values.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		if f.fn != nil {
+			samples := f.fn()
+			sort.Slice(samples, func(i, j int) bool {
+				return lessLabels(samples[i].Labels, samples[j].Labels)
+			})
+			for _, s := range samples {
+				writeSample(w, f.name, f.labels, s.Labels, "", s.Value)
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.byKey[k])
+		}
+		f.mu.Unlock()
+		for _, s := range sers {
+			switch f.typ {
+			case TypeCounter:
+				writeSample(w, f.name, f.labels, s.labels, "", float64(s.counter.Value()))
+			case TypeGauge:
+				writeSample(w, f.name, f.labels, s.labels, "", float64(s.gauge.Value()))
+			case TypeHistogram:
+				writeHistogram(w, f, s)
+			}
+		}
+	}
+}
+
+// Text renders the registry to a string (WriteText over a fresh builder).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler serves GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(r.Text()))
+	})
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// (le label last, per convention), then _sum and _count.
+func writeHistogram(w *strings.Builder, f *family, s *series) {
+	h := s.hist
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, f.name+"_bucket", append(f.labels, "le"),
+			append(append([]string(nil), s.labels...), formatFloat(bound)), "", float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, f.name+"_bucket", append(f.labels, "le"),
+		append(append([]string(nil), s.labels...), "+Inf"), "", float64(cum))
+	writeSample(w, f.name+"_sum", f.labels, s.labels, "", math.Float64frombits(h.sumBits.Load()))
+	writeSample(w, f.name+"_count", f.labels, s.labels, "", float64(cum))
+}
+
+func writeSample(w *strings.Builder, name string, labelNames, labelValues []string, suffix string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labelNames) > 0 {
+		w.WriteByte('{')
+		for i, ln := range labelNames {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			val := ""
+			if i < len(labelValues) {
+				val = labelValues[i]
+			}
+			fmt.Fprintf(w, `%s=%q`, ln, escapeLabel(val))
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders values the way Prometheus expects: integers without
+// a decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format; the %q in
+// writeSample adds the quotes and escapes backslash/quote/newline already,
+// so this only has to pass the value through — kept as a seam in case the
+// quoting strategy changes.
+func escapeLabel(s string) string { return s }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// lessLabels orders label-value slices lexicographically.
+func lessLabels(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "Total jobs.")
+	g := r.Gauge("queue_depth", "Current depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+	text := r.Text()
+	for _, want := range []string{
+		"# HELP jobs_total Total jobs.\n",
+		"# TYPE jobs_total counter\n",
+		"jobs_total 5\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabelsAndOrdering(t *testing.T) {
+	r := New()
+	v := r.CounterVec("rejections_total", "Rejections by reason.", "reason", "tenant")
+	v.With("quota", "tb").Add(2)
+	v.With("queue", "ta").Inc()
+	v.With("quota", "ta").Add(3)
+	if v.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", v.Total())
+	}
+	text := r.Text()
+	// Series must appear in deterministic (sorted) order regardless of
+	// creation order.
+	iQueue := strings.Index(text, `rejections_total{reason="queue",tenant="ta"} 1`)
+	iQuotaA := strings.Index(text, `rejections_total{reason="quota",tenant="ta"} 3`)
+	iQuotaB := strings.Index(text, `rejections_total{reason="quota",tenant="tb"} 2`)
+	if iQueue < 0 || iQuotaA < 0 || iQuotaB < 0 {
+		t.Fatalf("missing series:\n%s", text)
+	}
+	if !(iQueue < iQuotaA && iQuotaA < iQuotaB) {
+		t.Fatalf("series out of order:\n%s", text)
+	}
+	// Render twice: output must be identical (stable ordering).
+	if again := r.Text(); again != text {
+		t.Fatalf("unstable exposition:\nfirst:\n%s\nsecond:\n%s", text, again)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	v := r.GaugeVec("backend_up", "Backend health.", "url")
+	v.With(`http://x/"quoted"\path` + "\n").Set(1)
+	text := r.Text()
+	want := `backend_up{url="http://x/\"quoted\"\\path\n"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("escaped series %q missing:\n%s", want, text)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	text := r.Text()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05\n",
+		"latency_seconds_count 5\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("queue_wait_seconds", "Queue wait.", []float64{1}, "lane")
+	v.With("interactive").Observe(0.5)
+	v.With("bulk").Observe(2)
+	text := r.Text()
+	for _, want := range []string{
+		`queue_wait_seconds_bucket{lane="bulk",le="1"} 0`,
+		`queue_wait_seconds_bucket{lane="bulk",le="+Inf"} 1`,
+		`queue_wait_seconds_bucket{lane="interactive",le="1"} 1`,
+		`queue_wait_seconds_count{lane="interactive"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFuncFamilies(t *testing.T) {
+	r := New()
+	var n uint64 = 41
+	r.CounterFunc("submitted_total", "Submissions.", func() float64 { return float64(n) })
+	r.GaugeFunc("inflight", "In flight.", func() float64 { return 3 })
+	r.SampleFunc("backend_submits_total", "Per-backend submits.", TypeCounter,
+		[]string{"backend"}, func() []Sample {
+			return []Sample{
+				{Labels: []string{"b1"}, Value: 9},
+				{Labels: []string{"b0"}, Value: 2},
+			}
+		})
+	n++
+	text := r.Text()
+	for _, want := range []string{
+		"submitted_total 42\n",
+		"inflight 3\n",
+		`backend_submits_total{backend="b0"} 2`,
+		`backend_submits_total{backend="b1"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Func-family samples must also be sorted.
+	if strings.Index(text, `{backend="b0"}`) > strings.Index(text, `{backend="b1"}`) {
+		t.Fatalf("func samples out of order:\n%s", text)
+	}
+}
+
+func TestSeriesBound(t *testing.T) {
+	r := New()
+	v := r.CounterVec("per_tenant_total", "Per tenant.", "tenant")
+	for i := 0; i < maxVecSeries+50; i++ {
+		v.With(fmt.Sprintf("t%d", i)).Inc()
+	}
+	if v.Total() != maxVecSeries+50 {
+		t.Fatalf("Total = %d, want %d", v.Total(), maxVecSeries+50)
+	}
+	text := r.Text()
+	if !strings.Contains(text, `per_tenant_total{tenant="_other"} 50`) {
+		t.Fatalf("overflow series missing or wrong:\n%s", text)
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	for name, fn := range map[string]func(r *Registry){
+		"bad metric name": func(r *Registry) { r.Counter("bad-name", "") },
+		"bad label name":  func(r *Registry) { r.CounterVec("ok_name", "", "bad-label") },
+		"duplicate":       func(r *Registry) { r.Counter("dup", ""); r.Gauge("dup", "") },
+		"unsorted buckets": func(r *Registry) {
+			r.Histogram("h", "", []float64{2, 1})
+		},
+		"wrong label count": func(r *Registry) {
+			r.CounterVec("v", "", "a", "b").With("only-one")
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			fn(New())
+		})
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "X.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "x_total 1\n") {
+		t.Fatalf("body:\n%s", body)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "", []float64{1})
+	c := r.Counter("c_total", "")
+	v := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+				c.Inc()
+				v.With(strconv.Itoa(i % 3)).Inc()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 || v.Total() != 8000 {
+		t.Fatalf("counts: hist=%d counter=%d vec=%d, want 8000 each",
+			h.Count(), c.Value(), v.Total())
+	}
+	if got := math.Float64frombits(h.sumBits.Load()); got != 4000 {
+		t.Fatalf("sum = %v, want 4000", got)
+	}
+}
+
+// TestExpositionWellFormed runs the whole rendered output through a line
+// validator covering the slice of the text format the repo emits — the
+// same check the cluster e2e applies to live /metrics bodies.
+func TestExpositionWellFormed(t *testing.T) {
+	r := New()
+	r.Counter("a_total", "Help with\nnewline and back\\slash.").Add(3)
+	r.GaugeVec("g", "G.", "l").With(`weird "value"`).Set(-2)
+	h := r.Histogram("h_seconds", "H.", nil)
+	h.Observe(0.003)
+	h.Observe(120)
+	r.SampleFunc("f_total", "F.", TypeCounter, []string{"x"}, func() []Sample {
+		return []Sample{{Labels: []string{"v"}, Value: 1.5}}
+	})
+	if err := ValidateExposition(r.Text()); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, r.Text())
+	}
+}

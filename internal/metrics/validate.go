@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	helpLine   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+)
+
+// ValidateExposition checks every line of a text-format body against the
+// grammar subset this package emits, and that each sample belongs to the
+// family most recently declared by a TYPE line. Exported for reuse by the
+// cluster tests that scrape live servers.
+func ValidateExposition(body string) error {
+	var curFam string
+	var curType string
+	seenFams := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpLine.MatchString(line) {
+				return fmt.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeLine.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			if seenFams[m[1]] {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", i+1, m[1])
+			}
+			seenFams[m[1]] = true
+			curFam, curType = m[1], m[2]
+		case line == "":
+			return fmt.Errorf("line %d: blank line", i+1)
+		default:
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed sample: %q", i+1, line)
+			}
+			name := m[1]
+			ok := name == curFam
+			if curType == "histogram" {
+				ok = name == curFam+"_bucket" || name == curFam+"_sum" || name == curFam+"_count"
+			}
+			if !ok {
+				return fmt.Errorf("line %d: sample %q outside its TYPE block (current family %q)", i+1, name, curFam)
+			}
+		}
+	}
+	// Histogram buckets must be cumulative; spot-check by re-parsing.
+	return validateHistogramCumulative(body)
+}
+
+func validateHistogramCumulative(body string) error {
+	counts := map[string][]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		idx := strings.Index(line, "_bucket")
+		if idx < 0 || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fam := line[:idx]
+		sp := strings.LastIndex(line, " ")
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return fmt.Errorf("bucket line %q: %v", line, err)
+		}
+		counts[fam] = append(counts[fam], v)
+	}
+	for fam, vs := range counts {
+		if !sort.Float64sAreSorted(vs) {
+			return fmt.Errorf("histogram %q buckets not cumulative: %v", fam, vs)
+		}
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
 )
 
 // backend is one impserve instance behind the router. Its name ("b0",
@@ -127,31 +128,9 @@ func (b *backend) probe(ctx context.Context, hc *http.Client, timeout time.Durat
 	b.markUp()
 }
 
-// BackendStats is one backend's slice of the router's aggregated /v1/stats.
-type BackendStats struct {
-	Name    string `json:"name"`
-	URL     string `json:"url"`
-	Healthy bool   `json:"healthy"`
-	LastErr string `json:"last_err,omitempty"`
-	// LastProbe is the RFC3339 time of the most recent health-probe
-	// *attempt* (success or failure); empty until the first probe fires.
-	LastProbe string `json:"last_probe,omitempty"`
-	// Submits counts jobs this backend accepted via the router; the
-	// locality tests assert on it (identical specs land on one backend).
-	Submits uint64 `json:"submits"`
-	// Proxied counts non-submit requests (status/result/events/cancel).
-	Proxied  uint64 `json:"proxied"`
-	Errors   uint64 `json:"errors"`
-	Evicted  uint64 `json:"evictions"`
-	Readmits uint64 `json:"readmissions"`
-	InFlight int64  `json:"in_flight"`
-	// ReplicaPuts counts result copies the router wrote into this
-	// backend's store (replication fan-out; read-repairs are counted
-	// fleet-wide on the router instead).
-	ReplicaPuts uint64 `json:"replica_puts"`
-	// Service is the backend's own /v1/stats payload, when reachable.
-	Service map[string]any `json:"service,omitempty"`
-}
+// BackendStats is one backend's slice of the router's aggregated /v1/stats
+// — the shared wire type (api.BackendStats).
+type BackendStats = api.BackendStats
 
 func (b *backend) stats() BackendStats {
 	b.mu.Lock()

@@ -1,0 +1,281 @@
+package router_test
+
+// Load-path e2e tests: priority lanes under a bulk storm, per-tenant quota
+// admission at the router's front door, slow readers on relayed streams,
+// and the Prometheus exposition both tiers serve. These are the acceptance
+// tests for the production controls the impload harness measures.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/cluster"
+	"github.com/impsim/imp/internal/metrics"
+	"github.com/impsim/imp/internal/router"
+	"github.com/impsim/imp/internal/service"
+)
+
+// slowSweep builds a bulk-lane sweep of `points` distinct ~60-90ms points
+// (seeded so every call yields a fresh result key).
+func slowSweep(points int, seed int64) api.JobSpec {
+	spec := api.JobSpec{Priority: api.LaneBulk}
+	for i := 0; i < points; i++ {
+		spec.Sweep = append(spec.Sweep, imp.Config{
+			Workload: "spmv", Cores: 16, Scale: 0.2, System: imp.SystemIMP,
+			Seed: seed*100 + int64(i) + 1,
+		})
+	}
+	return spec
+}
+
+// TestClusterInteractiveUnderBulkStorm: with a single executor saturated by
+// a storm of bulk sweeps, a small interactive submit must jump the queue
+// and finish while bulk work is still pending — the lane scheduler's whole
+// reason to exist.
+func TestClusterInteractiveUnderBulkStorm(t *testing.T) {
+	c := startCluster(t, 1, cluster.Options{
+		Service: service.Config{Executors: 1, Parallelism: 1, QueueDepth: 64},
+	})
+	ctx := context.Background()
+	cl := c.Client()
+
+	const storm = 8
+	bulkIDs := make([]string, storm)
+	for i := range bulkIDs {
+		st, err := cl.Submit(ctx, slowSweep(4, int64(i)))
+		if err != nil {
+			t.Fatalf("bulk submit %d: %v", i, err)
+		}
+		bulkIDs[i] = st.ID
+	}
+
+	st, err := cl.Submit(ctx, api.JobSpec{
+		Priority: api.LaneInteractive,
+		Sweep:    []imp.Config{{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: 999}},
+	})
+	if err != nil {
+		t.Fatalf("interactive submit: %v", err)
+	}
+	if err := cl.Stream(ctx, st.ID, 0, nil); err != nil {
+		t.Fatalf("interactive stream: %v", err)
+	}
+
+	// The interactive job is done; the storm must not be. (With one
+	// executor and ~0.3s per bulk job, the queue holds several jobs for
+	// seconds — if the interactive submit had waited its FIFO turn, every
+	// bulk job would already be terminal by the time it finished.)
+	pending := 0
+	for _, id := range bulkIDs {
+		bst, err := cl.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("bulk status: %v", err)
+		}
+		if !bst.State.Terminal() {
+			pending++
+		}
+	}
+	if pending == 0 {
+		t.Fatal("interactive job finished after the whole bulk storm drained; priority lanes did not preempt the queue")
+	}
+	t.Logf("interactive done with %d/%d bulk jobs still pending", pending, storm)
+
+	// Lane accounting must surface in the service stats view.
+	ss, err := c.BackendClient(0).ServiceStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.QueuedBulk+ss.RunningBulk == 0 && pending > 0 {
+		t.Errorf("stats show no bulk occupancy while %d bulk jobs pending: %+v", pending, ss)
+	}
+
+	// Cancel the rest of the storm so teardown does not wait out the queue.
+	for _, id := range bulkIDs {
+		cl.Cancel(ctx, id)
+	}
+}
+
+// TestClusterQuotaRejectsOverLimitTenant: an over-quota tenant gets typed
+// 429 + Retry-After from the router's front door while another tenant's
+// traffic is admitted untouched.
+func TestClusterQuotaRejectsOverLimitTenant(t *testing.T) {
+	c := startCluster(t, 1, cluster.Options{
+		Router: router.Config{QuotaRate: 0.5, QuotaBurst: 2},
+	})
+	ctx := context.Background()
+
+	greedy := c.Client()
+	greedy.SetTenant("team-greedy")
+	var rejected *api.Error
+	for i := 0; i < 4; i++ {
+		_, err := greedy.Submit(ctx, api.JobSpec{
+			Sweep: []imp.Config{{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(i + 1)}},
+		})
+		if err != nil && errors.As(err, &rejected) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("submit %d failed with an untyped error: %v", i, err)
+		}
+	}
+	if rejected == nil {
+		t.Fatal("4 rapid submits against burst 2 never hit the quota")
+	}
+	if rejected.Code != api.CodeOverQuota || rejected.Status != http.StatusTooManyRequests {
+		t.Fatalf("rejection not typed over_quota/429: %+v", rejected)
+	}
+	if rejected.RetryAfter < 1 {
+		t.Fatalf("rejection carries no Retry-After hint: %+v", rejected)
+	}
+
+	// A different tenant is a different bucket: admitted immediately.
+	other := c.Client()
+	other.SetTenant("team-frugal")
+	st, err := other.Submit(ctx, api.JobSpec{
+		Sweep: []imp.Config{{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: 77}},
+	})
+	if err != nil {
+		t.Fatalf("other tenant rejected alongside the greedy one: %v", err)
+	}
+	if err := other.Stream(ctx, st.ID, 0, nil); err != nil {
+		t.Fatalf("other tenant's job did not finish: %v", err)
+	}
+
+	// The rejection is visible to operators in both stats and metrics.
+	rs, err := greedy.RouterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.QuotaRejections == 0 {
+		t.Error("router stats count no quota rejections after a 429")
+	}
+	expo, err := greedy.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo, `imp_router_quota_rejections_total{tenant="team-greedy"}`) {
+		t.Error("exposition missing the per-tenant rejection counter")
+	}
+}
+
+// TestClusterSlowReaderStreamRelay: a client draining relayed events much
+// slower than the backend produces them must still receive every event in
+// order, and the backend must stay healthy — the router may not buffer
+// unboundedly, drop events, or mistake a slow client for a dead backend.
+func TestClusterSlowReaderStreamRelay(t *testing.T) {
+	c := startCluster(t, 1, cluster.Options{})
+	ctx := context.Background()
+	cl := c.Client()
+
+	const points = 10
+	spec := api.JobSpec{Sweep: make([]imp.Config, points)}
+	for i := range spec.Sweep {
+		spec.Sweep[i] = imp.Config{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: int64(i + 1)}
+	}
+	st, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var seqs []int
+	err = cl.Stream(ctx, st.ID, 0, func(ev api.Event) {
+		seqs = append(seqs, ev.Seq)
+		time.Sleep(40 * time.Millisecond) // ~8x slower than the backend produces
+	})
+	if err != nil {
+		t.Fatalf("slow-read stream failed: %v", err)
+	}
+	if len(seqs) != points+1 { // one per point + the terminal event
+		t.Fatalf("slow reader saw %d events, want %d: %v", len(seqs), points+1, seqs)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("events out of order or dropped at %d: %v", i, seqs)
+		}
+	}
+
+	if got := c.Router.Stats(ctx).HealthyCount; got != 1 {
+		t.Errorf("backend marked unhealthy under a slow reader: healthy=%d", got)
+	}
+}
+
+// TestClusterMetricsExposition: both tiers serve valid Prometheus text
+// exposition covering the families operators alert on, and the numbers
+// agree with the /v1/stats view of the same registry.
+func TestClusterMetricsExposition(t *testing.T) {
+	c := startCluster(t, 2, cluster.Options{})
+	ctx := context.Background()
+	cl := c.Client()
+
+	st, err := cl.Submit(ctx, api.JobSpec{
+		Sweep: []imp.Config{{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Stream(ctx, st.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	front, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExposition(front); err != nil {
+		t.Fatalf("router exposition invalid: %v", err)
+	}
+	for _, family := range []string{
+		"imp_router_submitted_total",
+		"imp_router_healthy_backends",
+		"imp_router_replica_puts_total",
+		"imp_router_submit_seconds_bucket",
+		`imp_router_backend_healthy{backend="b0"}`,
+	} {
+		if !strings.Contains(front, family) {
+			t.Errorf("router exposition missing %s", family)
+		}
+	}
+	rs, err := cl.RouterStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("imp_router_submitted_total %d", rs.Submitted); !strings.Contains(front, want) {
+		t.Errorf("exposition disagrees with /v1/stats: want %q", want)
+	}
+
+	// Every backend declares the full family set; the lane-labeled duration
+	// histogram only grows series on the backend that actually executed the
+	// job, so its _bucket samples are asserted fleet-wide.
+	sawDuration := false
+	for i := 0; i < 2; i++ {
+		expo, err := c.BackendClient(i).Metrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := metrics.ValidateExposition(expo); err != nil {
+			t.Fatalf("backend %d exposition invalid: %v", i, err)
+		}
+		for _, family := range []string{
+			"imp_service_submitted_total",
+			"imp_service_executed_total",
+			`imp_service_queue_depth{lane="interactive"}`,
+			`imp_service_running{lane="bulk"}`,
+			"# TYPE imp_service_job_duration_seconds histogram",
+			"imp_service_store_hits_total",
+		} {
+			if !strings.Contains(expo, family) {
+				t.Errorf("backend %d exposition missing %s", i, family)
+			}
+		}
+		sawDuration = sawDuration || strings.Contains(expo, "imp_service_job_duration_seconds_bucket")
+	}
+	if !sawDuration {
+		t.Error("no backend recorded a job duration histogram sample")
+	}
+}

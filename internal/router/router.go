@@ -43,8 +43,10 @@ import (
 
 	"github.com/impsim/imp"
 	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/admission"
 	"github.com/impsim/imp/internal/httpx"
 	"github.com/impsim/imp/internal/jobkey"
+	"github.com/impsim/imp/internal/metrics"
 )
 
 // Config parameterizes a Router. Zero values select the defaults, except
@@ -98,6 +100,14 @@ type Config struct {
 	// the surface open — acceptable only when the router's listener is
 	// itself unreachable from untrusted clients.
 	AdminToken string
+	// QuotaRate grants each tenant (the api.TenantHeader request header)
+	// this many submissions per second at the router's front door, enforced
+	// with a token bucket before any backend is touched; QuotaBurst is the
+	// bucket capacity (default max(QuotaRate, 1)). QuotaRate <= 0 disables
+	// router-level quotas. Backends can layer their own quota underneath
+	// (service.Config.QuotaRate) — the router passes their 429s through.
+	QuotaRate  float64
+	QuotaBurst float64
 	// Client issues backend requests; nil gets a client with no overall
 	// timeout (event streams are long-lived).
 	Client *http.Client
@@ -136,47 +146,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats is the router's aggregated /v1/stats payload.
-type Stats struct {
-	BackendCount int `json:"backends"`
-	HealthyCount int `json:"healthy"`
-	// TopologyVersion identifies the membership snapshot these stats were
-	// read under (bumped once per join or leave); EffectiveReplicas is the
-	// replication factor that snapshot can sustain —
-	// min(configured -replicas, member count).
-	TopologyVersion   uint64 `json:"topology_version"`
-	EffectiveReplicas int    `json:"effective_replicas"`
-	// Membership counters: Joins and Leaves count admin-surface ring
-	// changes; HandoffKeys counts results bulk-copied between backends
-	// during those changes (join warm-up and graceful-leave hand-off).
-	Joins       uint64 `json:"joins"`
-	Leaves      uint64 `json:"leaves"`
-	HandoffKeys uint64 `json:"handoff_keys"`
-	// Submitted counts submissions accepted by some backend; Rehashes
-	// counts retry attempts that moved a submission off its owner; Failed
-	// counts submissions no backend would take.
-	Submitted uint64 `json:"submitted"`
-	Rehashes  uint64 `json:"rehashes"`
-	Failed    uint64 `json:"failed"`
-	// Replication counters. ReplicaPuts counts result copies written to
-	// ring successors; ReplicaErrors counts replication attempts that
-	// failed against some backend. ReadRepairs counts submissions whose
-	// cold target was refilled from a successor's replica before the work
-	// was forwarded; RepairMisses counts submissions where the target and
-	// every probed successor missed — i.e. genuinely new work.
-	ReplicaPuts   uint64 `json:"replica_puts"`
-	ReplicaErrors uint64 `json:"replica_errors"`
-	ReadRepairs   uint64 `json:"read_repairs"`
-	RepairMisses  uint64 `json:"repair_misses"`
-	// Backends carries per-backend routing counters plus, when reachable,
-	// each backend's own service stats.
-	Backends []BackendStats `json:"per_backend"`
-}
+// Stats is the router's aggregated /v1/stats payload — the shared wire
+// type (api.StatsResponse).
+type Stats = api.StatsResponse
 
 // Router fronts a fleet of impserve backends behind one api/ endpoint.
 type Router struct {
-	cfg Config
-	hc  *http.Client
+	cfg     Config
+	hc      *http.Client
+	limiter *admission.Limiter
+	reg     *metrics.Registry
+
+	// Registry-native instruments (single source of truth for their
+	// numbers; /v1/stats reads them back).
+	mQuotaRej  *metrics.CounterVec
+	mSubmitDur *metrics.Histogram
 
 	// topo is the current membership snapshot. Reads are lock-free and
 	// always see one consistent ring+backends+replicas view; writes are
@@ -238,7 +222,13 @@ func New(cfg Config) (*Router, error) {
 		return nil, errors.New("router: no backends configured")
 	}
 	cfg = cfg.withDefaults()
-	rt := &Router{cfg: cfg, hc: cfg.Client, replWatch: make(map[string]bool), replConfirmed: make(map[string]bool)}
+	rt := &Router{
+		cfg: cfg, hc: cfg.Client,
+		limiter:       admission.New(cfg.QuotaRate, cfg.QuotaBurst),
+		replWatch:     make(map[string]bool),
+		replConfirmed: make(map[string]bool),
+	}
+	rt.initMetrics()
 	backends := make([]*backend, 0, len(cfg.Backends))
 	seen := make(map[string]int, len(cfg.Backends))
 	for i, base := range cfg.Backends {
@@ -275,6 +265,77 @@ func (rt *Router) newBackend(addr string) *backend {
 	rt.nextName++
 	return b
 }
+
+// initMetrics builds the router's Prometheus registry. Routing and
+// replication counters already live on the Router as atomics, so they are
+// exported through func collectors reading the live values; per-backend
+// series are produced per scrape from the current topology snapshot (the
+// label set follows ring membership). Quota rejections and the submit
+// latency histogram are registry-native.
+func (rt *Router) initMetrics() {
+	r := metrics.New()
+	rt.reg = r
+	rt.mQuotaRej = r.CounterVec("imp_router_quota_rejections_total",
+		"Submissions rejected at the router because the tenant's token bucket was empty (HTTP 429).", "tenant")
+	rt.mSubmitDur = r.Histogram("imp_router_submit_seconds",
+		"Submit latency through the router, including rehash retries.", nil)
+
+	counter := func(name, help string, v *atomic.Uint64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("imp_router_submitted_total", "Submissions accepted by some backend.", &rt.submitted)
+	counter("imp_router_rehashes_total", "Submit retries that moved a submission off its ring owner.", &rt.rehashes)
+	counter("imp_router_failed_total", "Submissions no backend would take.", &rt.failed)
+	counter("imp_router_joins_total", "Backends joined via the admin surface.", &rt.joins)
+	counter("imp_router_leaves_total", "Backends removed via the admin surface.", &rt.leaves)
+	counter("imp_router_handoff_keys_total", "Results bulk-copied between backends during membership changes.", &rt.handoffKeys)
+	counter("imp_router_replica_puts_total", "Result copies written to ring successors.", &rt.replicaPuts)
+	counter("imp_router_replica_errors_total", "Replication attempts that failed against some backend.", &rt.replicaErrors)
+	counter("imp_router_read_repairs_total", "Cold owners refilled from a successor's replica before forwarding.", &rt.readRepairs)
+	counter("imp_router_repair_misses_total", "Submissions where the owner and every probed successor missed.", &rt.repairMisses)
+
+	r.GaugeFunc("imp_router_backends", "Current ring member count.",
+		func() float64 { return float64(len(rt.topo.Load().backends)) })
+	r.GaugeFunc("imp_router_healthy_backends", "Ring members currently passing health probes.",
+		func() float64 { return float64(rt.topo.Load().healthyCount()) })
+	r.GaugeFunc("imp_router_topology_version", "Version of the live membership snapshot.",
+		func() float64 { return float64(rt.topo.Load().version) })
+	r.GaugeFunc("imp_router_effective_replicas", "Replication factor the live topology sustains.",
+		func() float64 { return float64(rt.topo.Load().replicas) })
+
+	perBackend := func(name, help string, typ metrics.Type, v func(*backend) float64) {
+		r.SampleFunc(name, help, typ, []string{"backend"}, func() []metrics.Sample {
+			members := rt.topo.Load().backends
+			out := make([]metrics.Sample, 0, len(members))
+			for _, b := range members {
+				out = append(out, metrics.Sample{Labels: []string{b.name}, Value: v(b)})
+			}
+			return out
+		})
+	}
+	perBackend("imp_router_backend_healthy", "Backend health verdict (1 healthy, 0 evicted).",
+		metrics.TypeGauge, func(b *backend) float64 {
+			if b.isHealthy() {
+				return 1
+			}
+			return 0
+		})
+	perBackend("imp_router_backend_inflight", "Requests currently proxied to the backend.",
+		metrics.TypeGauge, func(b *backend) float64 { return float64(b.inflight.Load()) })
+	perBackend("imp_router_backend_submits_total", "Jobs the backend accepted via the router.",
+		metrics.TypeCounter, func(b *backend) float64 { return float64(b.submits.Load()) })
+	perBackend("imp_router_backend_proxied_total", "Non-submit requests proxied to the backend.",
+		metrics.TypeCounter, func(b *backend) float64 { return float64(b.proxied.Load()) })
+	perBackend("imp_router_backend_errors_total", "Transport failures talking to the backend.",
+		metrics.TypeCounter, func(b *backend) float64 { return float64(b.errors.Load()) })
+	perBackend("imp_router_backend_evictions_total", "Healthy-to-unhealthy transitions.",
+		metrics.TypeCounter, func(b *backend) float64 { return float64(b.evictions.Load()) })
+	perBackend("imp_router_backend_replica_puts_total", "Replica copies written into the backend's store.",
+		metrics.TypeCounter, func(b *backend) float64 { return float64(b.replicaPuts.Load()) })
+}
+
+// Metrics exposes the router's Prometheus registry (GET /metrics).
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
 
 // Close stops the health loop and any in-flight replication watchers.
 func (rt *Router) Close() {
@@ -350,6 +411,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads", rt.handlePassthrough("/v1/workloads"))
 	mux.HandleFunc("GET /v1/experiments", rt.handlePassthrough("/v1/experiments"))
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.Handle("GET /metrics", rt.reg.Handler())
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	// Membership admin surface (membership.go); gated by Config.AdminToken.
 	mux.HandleFunc("GET /v1/backends", rt.requireAdmin(rt.handleBackendList))
@@ -385,9 +447,12 @@ func DecodeSpec(body []byte) (api.JobSpec, string, error) {
 // the original body to the first candidate that takes it. Transport
 // failures evict the backend and rehash to the next distinct node;
 // refusals (502/503/504) rehash without evicting. Every other backend
-// answer — success or a 4xx the client must see — passes through with the
-// job id rewritten.
+// answer — success, a 4xx the client must see, or a 429 admission
+// rejection (backpressure must reach the client, not trigger a rehash
+// storm) — passes through with the job id rewritten.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { rt.mSubmitDur.Observe(time.Since(start).Seconds()) }()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading job spec: %w", err))
@@ -396,6 +461,20 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	_, key, err := DecodeSpec(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Front-door admission: an over-quota tenant is answered here, before
+	// any ring walk or backend round trip spends fleet capacity on it.
+	tenant := r.Header.Get(api.TenantHeader)
+	if ok, retryAfter := rt.limiter.Allow(tenant); !ok {
+		name := tenant
+		if name == "" {
+			name = admission.DefaultTenant
+		}
+		rt.mQuotaRej.With(name).Inc()
+		wire := api.Errorf(api.CodeOverQuota, "router: tenant %q over submission quota", name)
+		wire.RetryAfter = retryAfter
+		writeError(w, http.StatusTooManyRequests, wire)
 		return
 	}
 
@@ -424,7 +503,13 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if attempt > 0 {
 			rt.rehashes.Add(1)
 		}
-		resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/jobs", "", body)
+		var hdr http.Header
+		if tenant != "" {
+			// Relay the tenant so backend-level quotas and metrics see the
+			// same identity the router admitted.
+			hdr = http.Header{api.TenantHeader: []string{tenant}}
+		}
+		resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/jobs", "", hdr, body)
 		if err != nil {
 			if clientGone(r) {
 				return // the submitter went away, not the backend
@@ -499,7 +584,9 @@ func proxyFailure(r *http.Request, b *backend, err error) (status int) {
 // errSaturated (rehash / 503 material) instead of absorbing the caller
 // indefinitely — without that bound a full gate would make submits hang
 // forever and the retry loop unreachable.
-func (rt *Router) forward(ctx context.Context, b *backend, method, path, rawQuery string, body []byte) (*http.Response, error) {
+// hdr carries extra request headers to relay (the tenant header on
+// submits); nil forwards none.
+func (rt *Router) forward(ctx context.Context, b *backend, method, path, rawQuery string, hdr http.Header, body []byte) (*http.Response, error) {
 	release, err := b.acquire(ctx, rt.cfg.HealthTimeout)
 	if err != nil {
 		return nil, err
@@ -516,6 +603,9 @@ func (rt *Router) forward(ctx context.Context, b *backend, method, path, rawQuer
 	if err != nil {
 		release()
 		return nil, err
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -570,7 +660,7 @@ func (rt *Router) handleJob(method, suffix string, rewrite bool) http.HandlerFun
 			return
 		}
 		b.proxied.Add(1)
-		resp, err := rt.forward(r.Context(), b, method, "/v1/jobs/"+url.PathEscape(id)+suffix, "", nil)
+		resp, err := rt.forward(r.Context(), b, method, "/v1/jobs/"+url.PathEscape(id)+suffix, "", nil, nil)
 		if err != nil {
 			writeError(w, proxyFailure(r, b, err), fmt.Errorf("router: backend %s: %w", b.name, err))
 			return
@@ -603,7 +693,7 @@ func (rt *Router) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	b.proxied.Add(1)
-	resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/events", r.URL.RawQuery, nil)
+	resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/events", r.URL.RawQuery, nil, nil)
 	if err != nil {
 		writeError(w, proxyFailure(r, b, err), fmt.Errorf("router: backend %s: %w", b.name, err))
 		return
@@ -715,7 +805,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		if !b.isHealthy() {
 			continue
 		}
-		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs", "", nil)
+		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/jobs", "", nil, nil)
 		if err != nil {
 			if !clientGone(r) && !errors.Is(err, errSaturated) {
 				b.markDown(err)
@@ -764,7 +854,7 @@ func (rt *Router) handlePassthrough(path string) http.HandlerFunc {
 				if healthyOnly != b.isHealthy() {
 					continue
 				}
-				resp, err := rt.forward(r.Context(), b, http.MethodGet, path, "", nil)
+				resp, err := rt.forward(r.Context(), b, http.MethodGet, path, "", nil, nil)
 				if err != nil {
 					if !clientGone(r) && !errors.Is(err, errSaturated) {
 						b.markDown(err)
@@ -797,6 +887,7 @@ func (rt *Router) Stats(ctx context.Context) Stats {
 		Submitted:         rt.submitted.Load(),
 		Rehashes:          rt.rehashes.Load(),
 		Failed:            rt.failed.Load(),
+		QuotaRejections:   rt.mQuotaRej.Total(),
 		ReplicaPuts:       rt.replicaPuts.Load(),
 		ReplicaErrors:     rt.replicaErrors.Load(),
 		ReadRepairs:       rt.readRepairs.Load(),
@@ -845,10 +936,14 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ok %d/%d backends\n", healthy, len(topo.backends))
 }
 
-// copyResponse passes a backend answer through verbatim.
+// copyResponse passes a backend answer through verbatim. Retry-After must
+// survive the relay: a backend 429 without its backoff hint would strip
+// admission control of the half that tells clients what to do about it.
 func copyResponse(w http.ResponseWriter, resp *http.Response) {
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)

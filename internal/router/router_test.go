@@ -349,15 +349,13 @@ func TestClusterStatsAggregation(t *testing.T) {
 	if st.Submitted != 1 {
 		t.Errorf("router submitted = %d, want 1", st.Submitted)
 	}
-	totalExecuted := 0.0
+	totalExecuted := uint64(0)
 	for _, bs := range st.Backends {
 		if bs.Service == nil {
 			t.Errorf("backend %s stats missing service payload", bs.Name)
 			continue
 		}
-		if v, ok := bs.Service["executed"].(float64); ok {
-			totalExecuted += v
-		}
+		totalExecuted += bs.Service.Executed
 	}
 	if totalExecuted != 1 {
 		t.Errorf("aggregated executed = %v, want 1", totalExecuted)

@@ -26,7 +26,8 @@ import (
 //	PUT    /v1/results/{key}    result store write (replica fan-out / read-repair)
 //	GET    /v1/workloads        available workload names
 //	GET    /v1/experiments      available experiment ids
-//	GET    /v1/stats            service counters
+//	GET    /v1/stats            service counters (JSON view of the registry)
+//	GET    /metrics             Prometheus text exposition
 //	GET    /healthz             liveness
 //
 // The /v1/results surface is the internal replication protocol: the
@@ -58,6 +59,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -77,7 +79,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	st, err := s.Submit(spec)
+	st, err := s.SubmitFrom(r.Header.Get(api.TenantHeader), spec)
 	if err != nil {
 		writeError(w, submitStatus(err), err)
 		return
@@ -90,8 +92,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func submitStatus(err error) int {
+	var wire *api.Error
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+	case errors.As(err, &wire) && wire.Code != "":
+		// Typed rejections (queue full, over quota) carry their own status.
+		return wire.Code.HTTPStatus()
+	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest

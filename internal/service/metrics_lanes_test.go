@@ -1,0 +1,193 @@
+package service
+
+// Tests for the observability and admission surfaces: the Prometheus
+// exposition, the per-tenant quota, and the lane accounting that /v1/stats
+// and /metrics both read from the one registry.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/impsim/imp"
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/metrics"
+)
+
+// TestMetricsExposition: after one executed job, GET /metrics serves valid
+// exposition whose families cover the service's submit/queue/lane/store
+// counters, and the numbers agree with the /v1/stats view.
+func TestMetricsExposition(t *testing.T) {
+	svc, c := startService(t, Config{})
+	ctx := context.Background()
+
+	if _, _, err := c.Run(ctx, testSweepSpec(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	expo, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidateExposition(expo); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, expo)
+	}
+	for _, family := range []string{
+		"imp_service_submitted_total 1",
+		"imp_service_executed_total 1",
+		`imp_service_queue_depth{lane="interactive"} 0`,
+		`imp_service_queue_depth{lane="bulk"} 0`,
+		`imp_service_running{lane="interactive"} 0`,
+		"imp_service_store_puts_total 1",
+		"# TYPE imp_service_job_duration_seconds histogram",
+		"# TYPE imp_service_queue_wait_seconds histogram",
+	} {
+		if !strings.Contains(expo, family) {
+			t.Errorf("exposition missing %q", family)
+		}
+	}
+
+	// The histogram recorded exactly the one executed job, in its lane.
+	if !strings.Contains(expo, `imp_service_job_duration_seconds_count{lane="interactive"} 1`) {
+		t.Error("job duration histogram did not record the interactive job")
+	}
+
+	// /v1/stats is a view over the same registry: the counters must agree.
+	st := svc.Stats()
+	if want := fmt.Sprintf("imp_service_submitted_total %d", st.Submitted); !strings.Contains(expo, want) {
+		t.Errorf("exposition disagrees with stats: want %q", want)
+	}
+	if svc.Metrics() == nil {
+		t.Error("Metrics() accessor returned nil")
+	}
+}
+
+// TestQuotaPerTenantIsolation: with a 2-burst quota, a tenant's third rapid
+// submission is rejected 429/over_quota with a Retry-After hint while a
+// second tenant — and the rejected tenant's earlier jobs — are untouched.
+func TestQuotaPerTenantIsolation(t *testing.T) {
+	svc, c := startService(t, Config{QuotaRate: 0.5, QuotaBurst: 2})
+	ctx := context.Background()
+	c.SetTenant("team-a")
+
+	spec := func(seed int64) api.JobSpec {
+		return api.JobSpec{Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: seed},
+		}}
+	}
+	for i := int64(1); i <= 2; i++ {
+		if _, err := c.Submit(ctx, spec(i)); err != nil {
+			t.Fatalf("submission %d within burst rejected: %v", i, err)
+		}
+	}
+	_, err := c.Submit(ctx, spec(3))
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("over-burst submission error untyped: %v", err)
+	}
+	if apiErr.Code != api.CodeOverQuota || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("rejection not over_quota/429: %+v", apiErr)
+	}
+	if apiErr.RetryAfter < 1 {
+		t.Fatalf("rejection missing Retry-After: %+v", apiErr)
+	}
+
+	// Another tenant's bucket is untouched.
+	c.SetTenant("team-b")
+	if _, err := c.Submit(ctx, spec(4)); err != nil {
+		t.Fatalf("tenant b rejected alongside tenant a: %v", err)
+	}
+
+	st := svc.Stats()
+	if st.QuotaRejections != 1 {
+		t.Errorf("stats quota rejections = %d, want 1", st.QuotaRejections)
+	}
+	expo, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo, `imp_service_quota_rejections_total{tenant="team-a"} 1`) {
+		t.Error("exposition missing the per-tenant rejection counter")
+	}
+}
+
+// TestSubmitUsesDefaultTenant: the tenantless Submit entrypoint shares the
+// default bucket, and the Job accessors report what was classified.
+func TestSubmitUsesDefaultTenant(t *testing.T) {
+	svc, _ := startService(t, Config{QuotaRate: 0.1, QuotaBurst: 1})
+
+	spec := func(seed int64) api.JobSpec {
+		return api.JobSpec{Sweep: []imp.Config{
+			{Workload: "spmv", Cores: 4, Scale: 0.05, System: imp.SystemIMP, Seed: seed},
+		}}
+	}
+	if _, err := svc.Submit(spec(1)); err != nil {
+		t.Fatalf("first default-tenant submit: %v", err)
+	}
+	_, err := svc.Submit(spec(2))
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeOverQuota {
+		t.Fatalf("default tenant not quota-limited: %v", err)
+	}
+
+	j := newJob("j-000001", "k", spec(3), api.LaneBulk)
+	if j.ID() != "j-000001" || j.Lane() != api.LaneBulk || len(j.Spec().Sweep) != 1 {
+		t.Errorf("job accessors wrong: id=%s lane=%s spec=%+v", j.ID(), j.Lane(), j.Spec())
+	}
+}
+
+// TestLaneOccupancyInStatsAndMetrics: while a bulk job is queued behind a
+// saturated executor, the per-lane decomposition shows it in both the
+// typed stats and the gauges.
+func TestLaneOccupancyInStatsAndMetrics(t *testing.T) {
+	svc, c := startService(t, Config{Executors: 1, Parallelism: 1})
+	ctx := context.Background()
+
+	submit := func(lane api.Lane, seed int64) api.JobStatus {
+		t.Helper()
+		st, err := c.Submit(ctx, api.JobSpec{
+			Priority: lane,
+			Sweep: []imp.Config{
+				{Workload: "spmv", Cores: 16, Scale: 0.2, System: imp.SystemIMP, Seed: seed},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	first := submit(api.LaneBulk, 1)
+	queued := submit(api.LaneBulk, 2)
+
+	// The first job occupies the single executor; the second waits in the
+	// bulk lane. Poll briefly — the executor picks work up asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.RunningBulk >= 1 && st.QueuedBulk >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lane occupancy never surfaced: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	expo, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expo, `imp_service_running{lane="bulk"} 1`) {
+		t.Error("running gauge missing the bulk occupancy")
+	}
+	if !strings.Contains(expo, `imp_service_queue_depth{lane="bulk"} 1`) {
+		t.Error("queue depth gauge missing the queued bulk job")
+	}
+
+	for _, id := range []string{first.ID, queued.ID} {
+		c.Cancel(ctx, id)
+	}
+}

@@ -1,7 +1,7 @@
 // Package service implements the impserve experiment service: a bounded
-// job queue in front of the imp sweep harness, a content-addressed result
-// store, and an HTTP API (submit / status / result / cancel / NDJSON
-// progress streaming).
+// two-lane job queue in front of the imp sweep harness, a content-addressed
+// result store, and an HTTP API (submit / status / result / cancel / NDJSON
+// progress streaming / Prometheus metrics).
 //
 // Design constraints, in order:
 //
@@ -17,6 +17,13 @@
 //     executor count caps running jobs, and one imp.Gate shared across all
 //     jobs caps total in-flight simulations regardless of per-job
 //     parallelism, so a burst of submissions cannot oversubscribe the host.
+//   - Overload is answered, not absorbed: a full queue and an over-quota
+//     tenant both get 429 with a Retry-After hint (api.Error), so clients
+//     learn to back off instead of piling onto an unbounded backlog.
+//   - Latency-sensitive work is not starved: submissions are scheduled in
+//     two lanes (api.LaneInteractive / api.LaneBulk). Executors prefer the
+//     interactive lane, with a small anti-starvation share for bulk, so a
+//     storm of sweeps cannot park a small submit behind all of them.
 package service
 
 import (
@@ -24,6 +31,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -31,13 +39,16 @@ import (
 
 	"github.com/impsim/imp"
 	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/admission"
 	"github.com/impsim/imp/internal/jobkey"
+	"github.com/impsim/imp/internal/metrics"
 )
 
 // Config parameterizes a Service. Zero values select the defaults.
 type Config struct {
-	// QueueDepth bounds jobs waiting to run (default 64). Submissions
-	// beyond it fail with ErrQueueFull rather than queueing unboundedly.
+	// QueueDepth bounds jobs waiting to run across both lanes (default 64).
+	// Submissions beyond it fail with ErrQueueFull (HTTP 429 + Retry-After)
+	// rather than queueing unboundedly.
 	QueueDepth int
 	// Executors bounds concurrently running jobs (default 2).
 	Executors int
@@ -59,6 +70,14 @@ type Config struct {
 	// MaxJobs bounds retained job records; the oldest finished jobs are
 	// evicted beyond it (default 1024). Their results stay in the store.
 	MaxJobs int
+	// QuotaRate grants each tenant (X-Imp-Tenant) this many submissions per
+	// second, enforced by a token bucket; QuotaBurst is the bucket capacity
+	// (default max(QuotaRate, 1)). QuotaRate <= 0 disables quotas.
+	QuotaRate  float64
+	QuotaBurst float64
+	// BulkThreshold is the sweep size beyond which an unlabeled submission
+	// is classified into the bulk lane (default api.DefaultBulkThreshold).
+	BulkThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,13 +99,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.BulkThreshold <= 0 {
+		c.BulkThreshold = api.DefaultBulkThreshold
+	}
 	return c
 }
 
 // Sentinel errors mapped to HTTP statuses by the handler layer.
 var (
 	// ErrQueueFull rejects a submission when the bounded queue is at
-	// capacity (HTTP 503).
+	// capacity (HTTP 429 + Retry-After; the wire error is
+	// api.CodeQueueFull).
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrClosed rejects submissions after Close (HTTP 503).
 	ErrClosed = errors.New("service: shutting down")
@@ -100,45 +123,61 @@ var (
 	ErrJobFailed = errors.New("service: job did not produce a result")
 )
 
-// Stats counts service outcomes since start.
-type Stats struct {
-	Submitted uint64 `json:"submitted"`
-	Executed  uint64 `json:"executed"`
-	Deduped   uint64 `json:"deduped"`
-	Cached    uint64 `json:"cached"`
-	StoreHits uint64 `json:"store_hits"`
-	StorePuts uint64 `json:"store_puts"`
-	StoreLen  int    `json:"store_entries"`
-	// Disk-layer counters; all zero when ResultsDir is unset. StoreCorrupt
-	// counts on-disk entries evicted for failing their integrity check.
-	StoreDiskHits uint64 `json:"store_disk_hits,omitempty"`
-	StoreDiskPuts uint64 `json:"store_disk_puts,omitempty"`
-	StoreCorrupt  uint64 `json:"store_corrupt,omitempty"`
-	Queued        int    `json:"queued"`
-	Running       int    `json:"running"`
+// Stats is the service's /v1/stats document — the shared wire type.
+type Stats = api.ServiceStats
+
+// typedErr pairs a package sentinel with its wire form, so errors.Is sees
+// the sentinel (existing callers branch on ErrQueueFull) while the HTTP
+// layer errors.As the *api.Error for the typed body and Retry-After header.
+type typedErr struct {
+	wire     *api.Error
+	sentinel error
 }
 
-// Service owns the job queue, the executors and the result store.
+func (e *typedErr) Error() string   { return e.wire.Message }
+func (e *typedErr) Unwrap() []error { return []error{e.wire, e.sentinel} }
+
+func queueFullError(retryAfter int) error {
+	wire := api.Errorf(api.CodeQueueFull, "%s (retry in ~%ds)", ErrQueueFull.Error(), retryAfter)
+	wire.RetryAfter = retryAfter
+	return &typedErr{wire: wire, sentinel: ErrQueueFull}
+}
+
+// Service owns the job queues, the executors and the result store.
 type Service struct {
-	cfg   Config
-	gate  imp.Gate
-	store resultStore
+	cfg     Config
+	gate    imp.Gate
+	store   resultStore
+	limiter *admission.Limiter
+	reg     *metrics.Registry
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
 	mu       sync.Mutex
+	qcond    *sync.Cond // signals executors when work arrives or Close runs
 	closed   bool
 	nextID   int
 	jobs     map[string]*Job
 	order    []string        // submission order, for listing and eviction
 	byKey    map[string]*Job // live singleflight index: queued/running/done
-	queue    chan *Job
-	running  int
+	qlanes   map[api.Lane][]*Job
+	running  map[api.Lane]int
+	dequeues uint64 // scheduler tick, drives the anti-starvation share
 	executed uint64
 	deduped  uint64
 	cached   uint64
-	wg       sync.WaitGroup
+	// ewmaJobSec smooths observed job durations; the queue-full Retry-After
+	// hint is backlog x this / executors.
+	ewmaJobSec float64
+	wg         sync.WaitGroup
+
+	// Registry-native instruments (the registry is their single source of
+	// truth; Stats() reads them back rather than double-counting).
+	mQuotaRej  *metrics.CounterVec
+	mQueueRej  *metrics.Counter
+	mQueueWait *metrics.HistogramVec
+	mJobDur    *metrics.HistogramVec
 }
 
 // New starts a Service with cfg.Executors executor goroutines. Close it to
@@ -156,12 +195,16 @@ func New(cfg Config) *Service {
 		cfg:        cfg,
 		gate:       imp.NewGate(cfg.Parallelism),
 		store:      rs,
+		limiter:    admission.New(cfg.QuotaRate, cfg.QuotaBurst),
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*Job),
 		byKey:      make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		qlanes:     map[api.Lane][]*Job{api.LaneInteractive: nil, api.LaneBulk: nil},
+		running:    map[api.Lane]int{api.LaneInteractive: 0, api.LaneBulk: 0},
 	}
+	s.qcond = sync.NewCond(&s.mu)
+	s.initMetrics()
 	s.wg.Add(cfg.Executors)
 	for i := 0; i < cfg.Executors; i++ {
 		go s.executor()
@@ -169,12 +212,82 @@ func New(cfg Config) *Service {
 	return s
 }
 
+// initMetrics builds the service's Prometheus registry. Counters that
+// already live on the Service or the store are exported through func
+// collectors (scrapes read the live values — /v1/stats and /metrics can
+// never disagree); admission counters and latency histograms are
+// registry-native instruments.
+func (s *Service) initMetrics() {
+	r := metrics.New()
+	s.reg = r
+	s.mQuotaRej = r.CounterVec("imp_service_quota_rejections_total",
+		"Submissions rejected because the tenant's token bucket was empty (HTTP 429).", "tenant")
+	s.mQueueRej = r.Counter("imp_service_queue_rejections_total",
+		"Submissions rejected by queue-depth admission control (HTTP 429).")
+	s.mQueueWait = r.HistogramVec("imp_service_queue_wait_seconds",
+		"Time jobs spent queued before an executor picked them up.", nil, "lane")
+	s.mJobDur = r.HistogramVec("imp_service_job_duration_seconds",
+		"Wall-clock job execution time.", nil, "lane")
+
+	lockedCount := func(read func() float64) func() float64 {
+		return func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return read()
+		}
+	}
+	r.CounterFunc("imp_service_submitted_total", "Jobs submitted (including deduped and cached answers).",
+		lockedCount(func() float64 { return float64(s.nextID) }))
+	r.CounterFunc("imp_service_executed_total", "Jobs actually executed (cache and dedup misses).",
+		lockedCount(func() float64 { return float64(s.executed) }))
+	r.CounterFunc("imp_service_deduped_total", "Submissions answered by a live in-flight job with the same key.",
+		lockedCount(func() float64 { return float64(s.deduped) }))
+	r.CounterFunc("imp_service_cached_total", "Submissions answered from the result store.",
+		lockedCount(func() float64 { return float64(s.cached) }))
+	r.SampleFunc("imp_service_queue_depth", "Jobs waiting to run, by lane.",
+		metrics.TypeGauge, []string{"lane"}, func() []metrics.Sample {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return laneSamples(func(l api.Lane) float64 { return float64(len(s.qlanes[l])) })
+		})
+	r.SampleFunc("imp_service_running", "Jobs currently executing, by lane.",
+		metrics.TypeGauge, []string{"lane"}, func() []metrics.Sample {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return laneSamples(func(l api.Lane) float64 { return float64(s.running[l]) })
+		})
+	r.CounterFunc("imp_service_store_hits_total", "Result-store hits.",
+		func() float64 { return float64(s.store.stats().Hits) })
+	r.CounterFunc("imp_service_store_puts_total", "Result-store writes.",
+		func() float64 { return float64(s.store.stats().Puts) })
+	r.GaugeFunc("imp_service_store_entries", "Results currently cached in memory.",
+		func() float64 { return float64(s.store.stats().Entries) })
+	r.CounterFunc("imp_service_store_disk_hits_total", "Results read from the persistent store layer.",
+		func() float64 { return float64(s.store.stats().DiskHits) })
+	r.CounterFunc("imp_service_store_disk_puts_total", "Results written to the persistent store layer.",
+		func() float64 { return float64(s.store.stats().DiskPuts) })
+	r.CounterFunc("imp_service_store_corrupt_total", "On-disk results evicted for failing their integrity check.",
+		func() float64 { return float64(s.store.stats().Corrupt) })
+}
+
+func laneSamples(val func(api.Lane) float64) []metrics.Sample {
+	out := make([]metrics.Sample, 0, len(api.Lanes))
+	for _, l := range api.Lanes {
+		out = append(out, metrics.Sample{Labels: []string{string(l)}, Value: val(l)})
+	}
+	return out
+}
+
+// Metrics exposes the service's Prometheus registry (GET /metrics).
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
 // Job is one submitted unit of work. All mutable fields are guarded by mu;
 // cond broadcasts on every event append and state change.
 type Job struct {
 	id   string
 	key  string
 	spec api.JobSpec
+	lane api.Lane
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -192,8 +305,8 @@ type Job struct {
 	cancelReq bool
 }
 
-func newJob(id, key string, spec api.JobSpec) *Job {
-	j := &Job{id: id, key: key, spec: spec, state: api.StateQueued, submitted: time.Now()}
+func newJob(id, key string, spec api.JobSpec, lane api.Lane) *Job {
+	j := &Job{id: id, key: key, spec: spec, lane: lane, state: api.StateQueued, submitted: time.Now()}
 	j.cond = sync.NewCond(&j.mu)
 	if len(spec.Sweep) > 0 {
 		j.total = len(spec.Sweep)
@@ -206,6 +319,9 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns the job's normalized specification.
 func (j *Job) Spec() api.JobSpec { return j.spec }
+
+// Lane returns the scheduling lane the job was classified into.
+func (j *Job) Lane() api.Lane { return j.lane }
 
 // Status snapshots the job.
 func (j *Job) Status() api.JobStatus {
@@ -274,11 +390,30 @@ func (j *Job) addEvent(ev api.Event) {
 	j.mu.Unlock()
 }
 
-// Submit validates, normalizes and keys spec, then answers it from the
-// in-flight index (dedup), the result store (cache) or a fresh queued job.
+// Submit is SubmitFrom for the anonymous (default) tenant.
 func (s *Service) Submit(spec api.JobSpec) (api.JobStatus, error) {
+	return s.SubmitFrom("", spec)
+}
+
+// SubmitFrom validates, normalizes and keys spec on behalf of tenant, then
+// answers it from the in-flight index (dedup), the result store (cache) or
+// a fresh queued job. Admission control runs up front: an over-quota tenant
+// is rejected with api.CodeOverQuota before any work happens, and a full
+// queue rejects with ErrQueueFull/api.CodeQueueFull — both carrying a
+// Retry-After hint.
+func (s *Service) SubmitFrom(tenant string, spec api.JobSpec) (api.JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return api.JobStatus{}, err
+	}
+	if ok, retryAfter := s.limiter.Allow(tenant); !ok {
+		name := tenant
+		if name == "" {
+			name = admission.DefaultTenant
+		}
+		s.mQuotaRej.With(name).Inc()
+		wire := api.Errorf(api.CodeOverQuota, "service: tenant %q over submission quota", name)
+		wire.RetryAfter = retryAfter
+		return api.JobStatus{}, wire
 	}
 	spec.Normalize()
 	key, err := ResultKey(spec)
@@ -332,23 +467,43 @@ func (s *Service) Submit(spec api.JobSpec) (api.JobStatus, error) {
 		st.Cached = true
 		return st, nil
 	}
+	if s.queuedLocked() >= s.cfg.QueueDepth {
+		s.mQueueRej.Inc()
+		return api.JobStatus{}, queueFullError(s.retryHintLocked())
+	}
 	j := s.newJobLocked(key, spec)
 	s.registerLocked(j)
 	s.byKey[key] = j
-	select {
-	case s.queue <- j:
-	default:
-		delete(s.jobs, j.id)
-		delete(s.byKey, key)
-		s.order = s.order[:len(s.order)-1]
-		return api.JobStatus{}, ErrQueueFull
-	}
+	s.qlanes[j.lane] = append(s.qlanes[j.lane], j)
+	s.qcond.Signal()
 	return j.Status(), nil
+}
+
+func (s *Service) queuedLocked() int {
+	n := 0
+	for _, q := range s.qlanes {
+		n += len(q)
+	}
+	return n
+}
+
+// retryHintLocked estimates, in whole seconds, when queue capacity frees
+// up: the backlog (queued + running) times the smoothed job duration,
+// divided across the executors, clamped to [1s, 60s] so the header is
+// always sane even while the estimate is still warming up.
+func (s *Service) retryHintLocked() int {
+	perJob := s.ewmaJobSec
+	if perJob <= 0 {
+		perJob = 2 // no completed jobs yet; guess conservatively
+	}
+	backlog := s.queuedLocked() + s.running[api.LaneInteractive] + s.running[api.LaneBulk]
+	est := perJob * float64(backlog) / float64(s.cfg.Executors)
+	return int(math.Min(60, math.Max(1, math.Ceil(est))))
 }
 
 func (s *Service) newJobLocked(key string, spec api.JobSpec) *Job {
 	s.nextID++
-	return newJob(fmt.Sprintf("j-%06d", s.nextID), key, spec)
+	return newJob(fmt.Sprintf("j-%06d", s.nextID), key, spec, spec.EffectiveLane(s.cfg.BulkThreshold))
 }
 
 func (s *Service) registerLocked(j *Job) {
@@ -431,17 +586,26 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 	return j.Status(), nil
 }
 
-// Stats snapshots the service counters.
-func (s *Service) Stats() Stats {
+// Stats snapshots the service counters — the same values /metrics exports.
+func (s *Service) Stats() api.ServiceStats {
 	ss := s.store.stats()
+	quotaRej := s.mQuotaRej.Total()
+	queueRej := s.mQueueRej.Value()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	return api.ServiceStats{
 		Submitted: uint64(s.nextID), Executed: s.executed,
 		Deduped: s.deduped, Cached: s.cached,
 		StoreHits: ss.Hits, StorePuts: ss.Puts, StoreLen: ss.Entries,
 		StoreDiskHits: ss.DiskHits, StoreDiskPuts: ss.DiskPuts, StoreCorrupt: ss.Corrupt,
-		Queued: len(s.queue), Running: s.running,
+		Queued:             s.queuedLocked(),
+		Running:            s.running[api.LaneInteractive] + s.running[api.LaneBulk],
+		QueuedInteractive:  len(s.qlanes[api.LaneInteractive]),
+		QueuedBulk:         len(s.qlanes[api.LaneBulk]),
+		RunningInteractive: s.running[api.LaneInteractive],
+		RunningBulk:        s.running[api.LaneBulk],
+		QuotaRejections:    quotaRej,
+		QueueRejections:    queueRej,
 	}
 }
 
@@ -489,7 +653,7 @@ func (s *Service) Close(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue)
+	s.qcond.Broadcast()
 	s.mu.Unlock()
 
 	drained := make(chan struct{})
@@ -511,8 +675,46 @@ func (s *Service) Close(ctx context.Context) error {
 
 func (s *Service) executor() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.dequeue()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
+	}
+}
+
+// bulkShare is the anti-starvation ratio: every bulkShare-th dequeue takes
+// the bulk lane even when interactive work is waiting, so a sustained
+// interactive stream cannot park bulk jobs forever. All other dequeues
+// prefer interactive.
+const bulkShare = 4
+
+// dequeue blocks until a job is available or the service is closed and
+// drained; nil means "no more work ever" (executor exits). After Close the
+// remaining queued jobs are still dequeued and run — Close waits for the
+// backlog to drain, same contract as the old channel-based queue.
+func (s *Service) dequeue() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		qi, qb := s.qlanes[api.LaneInteractive], s.qlanes[api.LaneBulk]
+		if len(qi)+len(qb) > 0 {
+			lane := api.LaneInteractive
+			if len(qi) == 0 || (len(qb) > 0 && s.dequeues%bulkShare == bulkShare-1) {
+				lane = api.LaneBulk
+			}
+			q := s.qlanes[lane]
+			j := q[0]
+			q[0] = nil // drop the queue's reference; the slice arrays are reused
+			s.qlanes[lane] = q[1:]
+			s.dequeues++
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.qcond.Wait()
 	}
 }
 
@@ -538,19 +740,29 @@ func (s *Service) runJob(j *Job) {
 	j.cancelRun = cancel
 	j.state = api.StateRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	defer cancel()
 
+	s.mQueueWait.With(string(j.lane)).Observe(queueWait.Seconds())
 	s.mu.Lock()
-	s.running++
+	s.running[j.lane]++
 	s.executed++
 	s.mu.Unlock()
 
+	start := time.Now()
 	data, err := s.execute(ctx, j)
+	dur := time.Since(start).Seconds()
+	s.mJobDur.With(string(j.lane)).Observe(dur)
 
 	s.mu.Lock()
-	s.running--
+	s.running[j.lane]--
+	if s.ewmaJobSec == 0 {
+		s.ewmaJobSec = dur
+	} else {
+		s.ewmaJobSec = 0.8*s.ewmaJobSec + 0.2*dur
+	}
 	s.mu.Unlock()
 	s.finishJob(j, data, err, false)
 }
