@@ -12,6 +12,8 @@ import (
 	"io"
 	"path/filepath"
 	"testing"
+
+	"github.com/impsim/imp/internal/ckptcache"
 )
 
 // benchOpt keeps benchmark iterations cheap but non-degenerate.
@@ -86,6 +88,47 @@ func BenchmarkFig16Distance(b *testing.B) {
 
 func BenchmarkGHBComparison(b *testing.B) {
 	runExp(b, "ghb", map[string]int{"ghb_speedup": 1, "imp_speedup": 2})
+}
+
+// BenchmarkSweepPrefixSharing measures checkpointed sweep execution on the
+// fig2+table3 pair — the grids overlap in every workload's Perfect and
+// Baseline cells, so with checkpointing on, table3 forks those cells from
+// the checkpoints fig2 published instead of re-simulating them (and every
+// iteration after the first forks everything from the warm cache). "off" is
+// the plain path on the identical workload; the ratio of the two is the
+// speedup recorded in BENCH_*.json.
+func BenchmarkSweepPrefixSharing(b *testing.B) {
+	run := func(b *testing.B, opt ExpOptions) {
+		b.Helper()
+		for _, id := range []string{"fig2", "table3"} {
+			if _, err := Experiments.Run(id, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, benchOpt)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		ckptcache.Flush()
+		defer ckptcache.Flush()
+		opt := benchOpt
+		opt.Checkpoints = CheckpointPolicy{Enabled: true, Dir: b.TempDir()}
+		// Populate the cache untimed: the steady state under measurement is
+		// a sweep whose prefixes are already checkpointed (by an earlier
+		// run, another experiment, or — fleet-side — another job).
+		run(b, opt)
+		ResetCheckpointStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, opt)
+		}
+		s := GetCheckpointStats()
+		b.ReportMetric(float64(s.Hits)/float64(b.N), "ckpt_hits/op")
+		b.ReportMetric(float64(s.Misses)/float64(b.N), "ckpt_misses/op")
+	})
 }
 
 // BenchmarkSimulatorThroughput measures raw replay speed (records/sec) of

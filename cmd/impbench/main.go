@@ -62,7 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	opt := imp.ExpOptions{Cores: *cores, Scale: *scale, Seed: *seed, Parallelism: *parallel}
+	opt := imp.ExpOptions{
+		Cores: *cores, Scale: *scale,
+		RunOptions: imp.RunOptions{Seed: *seed, Parallelism: *parallel},
+	}
 	for _, w := range strings.Split(*workloads, ",") {
 		if w = strings.TrimSpace(w); w != "" {
 			opt.Workloads = append(opt.Workloads, w)

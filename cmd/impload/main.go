@@ -79,6 +79,14 @@ type Snapshot struct {
 	DistinctKeys  int    `json:"distinct_keys"`
 	ExecutedDelta uint64 `json:"executed_delta"`
 	Recomputes    uint64 `json:"recomputes"`
+	// Checkpointed-sweep deltas over the run (all zero with checkpointing
+	// off): points forked from restored checkpoints, shared replays
+	// simulated cold, and simulated cycles the forks did not re-execute.
+	// Part of the recompute audit — hits are work the fleet *avoided*, one
+	// layer below the job-level dedup the counters above account for.
+	CheckpointHitsDelta   uint64 `json:"checkpoint_hits_delta,omitempty"`
+	CheckpointMissesDelta uint64 `json:"checkpoint_misses_delta,omitempty"`
+	PrefixCyclesSaved     uint64 `json:"prefix_cycles_saved,omitempty"`
 }
 
 // OpCounts tallies every operation outcome; Submits = OK + Rejected + Errors.
@@ -199,10 +207,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	snap.DurationSec = duration.Seconds()
 	snap.Clients = *clients
 	snap.Seed = *seed
-	snap.ExecutedDelta = after - before
+	snap.ExecutedDelta = after.executed - before.executed
 	if snap.ExecutedDelta > uint64(snap.DistinctKeys) {
 		snap.Recomputes = snap.ExecutedDelta - uint64(snap.DistinctKeys)
 	}
+	snap.CheckpointHitsDelta = after.ckptHits - before.ckptHits
+	snap.CheckpointMissesDelta = after.ckptMisses - before.ckptMisses
+	snap.PrefixCyclesSaved = after.cyclesSaved - before.cyclesSaved
 
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -221,6 +232,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "impload: %d submits (%d ok, %d rejected, %d errors), %d distinct keys, executed delta %d, recomputes %d\n",
 		snap.Ops.Submits, snap.Ops.OK, snap.Ops.Rejected, snap.Ops.Errors,
 		snap.DistinctKeys, snap.ExecutedDelta, snap.Recomputes)
+	if snap.CheckpointHitsDelta+snap.CheckpointMissesDelta > 0 {
+		fmt.Fprintf(stdout, "impload: checkpoints: %d hits, %d misses, %d prefix cycles saved\n",
+			snap.CheckpointHitsDelta, snap.CheckpointMissesDelta, snap.PrefixCyclesSaved)
+	}
 
 	failed := false
 	if *maxErrRate >= 0 && snap.ErrorRate > *maxErrRate {
@@ -308,26 +323,43 @@ func waitReady(base string, httpc *http.Client, timeout time.Duration) error {
 	return fmt.Errorf("target %s not ready after %s: %w", base, timeout, last)
 }
 
-// executedTotal reads the fleet-wide executed counter: the router's
+// fleetCounters is the slice of fleet-wide service counters the recompute
+// audit tracks as before/after deltas.
+type fleetCounters struct {
+	executed    uint64
+	ckptHits    uint64
+	ckptMisses  uint64
+	cyclesSaved uint64
+}
+
+func (f *fleetCounters) add(ss *api.ServiceStats) {
+	f.executed += ss.Executed
+	f.ckptHits += ss.CheckpointHits
+	f.ckptMisses += ss.CheckpointMisses
+	f.cyclesSaved += ss.PrefixCyclesSaved
+}
+
+// executedTotal reads the fleet-wide execution counters: the router's
 // aggregated stats when the target is an improuter, the single service's
 // stats when it is a bare impserve.
-func executedTotal(c *client.Client) (uint64, error) {
+func executedTotal(c *client.Client) (fleetCounters, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	var total fleetCounters
 	if rs, err := c.RouterStats(ctx); err == nil && len(rs.Backends) > 0 {
-		var total uint64
 		for _, b := range rs.Backends {
 			if b.Service != nil {
-				total += b.Service.Executed
+				total.add(b.Service)
 			}
 		}
 		return total, nil
 	}
 	ss, err := c.ServiceStats(ctx)
 	if err != nil {
-		return 0, err
+		return fleetCounters{}, err
 	}
-	return ss.Executed, nil
+	total.add(&ss)
+	return total, nil
 }
 
 // recorder accumulates op outcomes and latencies across workers.

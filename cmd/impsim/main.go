@@ -88,7 +88,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "impsim: -workload names no workloads")
 		return 2
 	}
-	results, err := imp.RunSweep(context.Background(), cfgs, imp.SweepOptions{Parallelism: *parallel})
+	results, err := imp.RunSweep(context.Background(), cfgs, imp.SweepOptions{
+		RunOptions: imp.RunOptions{Parallelism: *parallel},
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "impsim:", err)
 		return 1

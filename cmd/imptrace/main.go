@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"github.com/impsim/imp/internal/progcache"
+	"github.com/impsim/imp/internal/sim"
 	"github.com/impsim/imp/internal/trace"
 	"github.com/impsim/imp/internal/workload"
 )
@@ -202,11 +203,31 @@ func runDecode(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// sniffSnapshot reads just enough of path to recognize a simulator
+// checkpoint by its magic.
+func sniffSnapshot(path string) (version uint16, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	head := make([]byte, 16)
+	n, _ := io.ReadFull(f, head)
+	return sim.IsSnapshot(head[:n])
+}
+
 // statFile streams an encoded trace with bounded memory: records are
 // decoded window by window and never materialized whole.
 func statFile(path string, dump int, stdout, stderr io.Writer) int {
 	fs, err := trace.OpenFile(path)
 	if err != nil {
+		// A checkpoint in a trace flag is an easy mix-up now that sweeps
+		// write both kinds of file; name what the file actually is instead
+		// of a bare bad-magic complaint.
+		if ver, ok := sniffSnapshot(path); ok {
+			fmt.Fprintf(stderr, "imptrace: %s is an IMP simulator checkpoint (snapshot format v%d), not a trace\n", path, ver)
+			return 1
+		}
 		fmt.Fprintln(stderr, "imptrace:", err)
 		return 1
 	}
@@ -215,7 +236,8 @@ func statFile(path string, dump int, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "imptrace: invalid trace:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "file=%s cores=%d records=%d (streamed)\n", path, fs.Cores(), fs.Records())
+	fmt.Fprintf(stdout, "file=%s format=trace-v%d cores=%d records=%d (streamed)\n",
+		path, trace.FormatVersion, fs.Cores(), fs.Records())
 	space := fs.Memory()
 	fmt.Fprintf(stdout, "footprint     %.2f MB in %d regions\n",
 		float64(space.Footprint())/1e6, len(space.Regions()))

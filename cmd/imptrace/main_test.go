@@ -110,6 +110,40 @@ func TestDecodeGarbageFile(t *testing.T) {
 	}
 }
 
+func TestStatRejectsCheckpointFileClearly(t *testing.T) {
+	// A simulator checkpoint handed to `stat -i` must be named for what it
+	// is, not rejected with a generic bad-magic error.
+	path := filepath.Join(t.TempDir(), "mixup.impsnap")
+	header := []byte{'I', 'M', 'P', 'S', 1, 0, 0, 0} // magic, version=1 LE, flags, reserved
+	if err := os.WriteFile(path, append(header, []byte("payload")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errb, code := runTrace(t, "stat", "-i", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, "checkpoint") || !strings.Contains(errb, "not a trace") ||
+		!strings.Contains(errb, "snapshot format v1") {
+		t.Errorf("unhelpful error for checkpoint file: %q", errb)
+	}
+}
+
+func TestStatReportsTraceFormatVersion(t *testing.T) {
+	isolateCache(t)
+	path := filepath.Join(t.TempDir(), "w.imptrace")
+	if _, errb, code := runTrace(t, "encode", "-workload", "spmv", "-cores", "2",
+		"-scale", "0.05", "-o", path); code != 0 {
+		t.Fatalf("encode failed: %s", errb)
+	}
+	out, _, code := runTrace(t, "stat", "-i", path)
+	if code != 0 {
+		t.Fatal("stat -i failed")
+	}
+	if !strings.Contains(out, "format=trace-v1") {
+		t.Errorf("stat -i does not report the detected format: %q", out)
+	}
+}
+
 // section extracts the report lines that must agree between the build-side
 // and file-side paths (everything except the first header line).
 func section(out string) string {

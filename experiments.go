@@ -5,13 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"time"
-
-	"github.com/impsim/imp/internal/harness"
-	"github.com/impsim/imp/internal/progcache"
-	"github.com/impsim/imp/internal/workload"
 )
 
-// ExpOptions parameterize an experiment run.
+// ExpOptions parameterize an experiment run. The execution knobs
+// (Parallelism, Context, OnProgress, Gate, Seed, Checkpoints) live in the
+// embedded RunOptions, shared with SweepOptions; existing field paths like
+// opt.Parallelism keep working through promotion.
 type ExpOptions struct {
 	// Cores (default 64, the paper's headline configuration).
 	Cores int
@@ -19,28 +18,11 @@ type ExpOptions struct {
 	Scale float64
 	// Workloads restricts the workload set (default: the experiment's own).
 	Workloads []string
-	// Seed perturbs input generation. Each workload's trace seed is derived
-	// deterministically from Seed and the workload name, so results are
-	// reproducible at any parallelism. 0 keeps the paper's default inputs.
-	Seed int64
-	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS). Output
-	// is byte-identical at any setting; 1 forces a serial sweep.
-	Parallelism int
-	// Context cancels an in-flight experiment when done (nil: Background).
-	// Cancellation is cooperative at simulation-point granularity: points
-	// already simulating run to completion; unstarted points are skipped.
-	Context context.Context
-	// OnProgress, when non-nil, receives one structured event per completed
-	// simulation point. It is never called concurrently with itself, but
-	// events arrive in completion order, which depends on scheduling.
-	OnProgress func(ProgressEvent)
-	// Gate, when non-nil, additionally bounds in-flight simulations across
-	// every sweep sharing the gate (see NewGate); table contents are
-	// unaffected.
-	Gate Gate
 	// Progress, when non-nil, receives one line per completed simulation.
 	// Kept for backward compatibility; prefer OnProgress.
 	Progress func(string)
+
+	RunOptions
 }
 
 // ProgressEvent describes one completed (or failed) simulation point of an
@@ -142,19 +124,6 @@ func (r *runner) workloads(def []string) []string {
 	return def
 }
 
-func (r *runner) program(name string, swpref bool) (*Program, error) {
-	p, err := progcache.Get(name, workload.Options{
-		Cores:            r.opt.Cores,
-		Scale:            r.opt.Scale,
-		SoftwarePrefetch: swpref,
-		Seed:             harness.SeedFor(r.opt.Seed, name),
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Program{p: p}, nil
-}
-
 // expPoint is one (workload, config) cell of an experiment's sweep grid.
 type expPoint struct {
 	workload string
@@ -163,26 +132,32 @@ type expPoint struct {
 
 // sweep simulates all points concurrently (bounded by opt.Parallelism) and
 // returns their results in point order, so assembled tables are identical
-// at any worker count.
+// at any worker count. Each point's config is fully resolved here (workload,
+// cores, scale, derived trace seed); trace builds dedupe through the shared
+// progcache, and with opt.Checkpoints enabled, points whose effective
+// simulation is identical additionally share one replay through the
+// checkpoint cache — common across experiments: fig2 and table3 both
+// simulate every workload's Perfect and Baseline cells.
 func (r *runner) sweep(points []expPoint) ([]*Result, error) {
-	meta := make([]sweepMeta, len(points))
+	pts := make([]simPoint, len(points))
 	for i, p := range points {
-		meta[i] = sweepMeta{experiment: r.id, workload: p.workload, system: p.cfg.System}
+		cfg := p.cfg
+		cfg.Workload = p.workload
+		cfg.Cores = r.opt.Cores
+		cfg.Scale = r.opt.Scale
+		cfg.Seed = ExpSeed(r.opt.Seed, p.workload)
+		pts[i] = simPoint{
+			meta: sweepMeta{experiment: r.id, workload: p.workload, system: cfg.System},
+			run: func(ctx context.Context) (*Result, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return runCfg(cfg, r.opt.Checkpoints)
+			},
+		}
+		pts[i].prefixKey, pts[i].runPrefix = prefixFor(cfg, r.opt.Checkpoints)
 	}
-	return sweepSim(r.opt.Context, r.opt.Parallelism, r.opt.Gate, meta,
-		func(ctx context.Context, i int) (*Result, error) {
-			cfg := points[i].cfg
-			cfg.Cores = r.opt.Cores
-			cfg.Scale = r.opt.Scale
-			prog, err := r.program(points[i].workload, cfg.System == SystemSWPrefetch)
-			if err != nil {
-				return nil, err
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			return RunProgram(prog, cfg)
-		}, r.opt.OnProgress, r.opt.Progress)
+	return sweepSim(r.opt.ctx(nil), r.opt.RunOptions, pts, r.opt.Progress)
 }
 
 // grid sweeps workloads × cfgs and returns results indexed [workload][cfg].

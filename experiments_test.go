@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"github.com/impsim/imp/internal/ckptcache"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files under testdata/")
@@ -29,7 +31,7 @@ func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
 			opts := func(par int) ExpOptions {
 				return ExpOptions{
 					Cores: 4, Scale: 0.05, Workloads: testWorkloads,
-					Seed: 7, Parallelism: par,
+					RunOptions: RunOptions{Seed: 7, Parallelism: par},
 				}
 			}
 			serial, err := Experiments.Run(id, opts(1))
@@ -111,6 +113,101 @@ func TestExperimentGolden(t *testing.T) {
 	}
 }
 
+// TestExperimentGoldenCheckpointed is the checkpointing correctness gate:
+// with prefix sharing on, fig2 and table3 must stay BYTE-identical to the
+// goldens at parallelism 1 and 8. The cache directory is shared across all
+// four runs, so later runs fork from checkpoints earlier runs published —
+// the exact cross-experiment reuse path (fig2 and table3 share every
+// workload's Perfect and Baseline cells) must not perturb a single bit.
+func TestExperimentGoldenCheckpointed(t *testing.T) {
+	ckptcache.Flush()
+	defer ckptcache.Flush()
+	ResetCheckpointStats()
+	dir := t.TempDir()
+	for _, id := range []string{"fig2", "table3"} {
+		golden, err := os.ReadFile(filepath.Join("testdata", "golden_"+id+".json"))
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		for _, par := range []int{1, 8} {
+			tbl, err := Experiments.Run(id, ExpOptions{
+				Cores: 4, Scale: 0.05, Workloads: testWorkloads,
+				RunOptions: RunOptions{
+					Parallelism: par,
+					Checkpoints: CheckpointPolicy{Enabled: true, Dir: dir},
+				},
+			})
+			if err != nil {
+				t.Fatalf("%s -j %d: %v", id, par, err)
+			}
+			data, err := tbl.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(append(data, '\n'), golden) {
+				t.Errorf("%s -j %d: checkpointed run differs from golden bytes", id, par)
+			}
+		}
+	}
+	s := GetCheckpointStats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("checkpointing not exercised: stats = %+v", s)
+	}
+	if s.PrefixCyclesSaved == 0 {
+		t.Errorf("no cycles accounted as saved despite %d hits", s.Hits)
+	}
+}
+
+// TestCorruptCheckpointEvictsAndColdStarts pins the poisoned-cache path: a
+// checkpoint that fails to restore is evicted and the point re-simulated,
+// so corruption can cost time but never correctness.
+func TestCorruptCheckpointEvictsAndColdStarts(t *testing.T) {
+	ckptcache.Flush()
+	defer ckptcache.Flush()
+	dir := t.TempDir()
+	cfg := Config{Workload: "spmv", Cores: 4, Scale: 0.05, System: SystemBaseline}
+	pol := CheckpointPolicy{Enabled: true, Dir: dir}
+	pristine, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate the cache, then corrupt every checkpoint on disk and drop the
+	// in-memory copies so the next run must read the poisoned bytes.
+	if _, err := runCfg(cfg, pol); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.impsnap"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no checkpoint files published (err=%v)", err)
+	}
+	for _, f := range files {
+		if err := os.WriteFile(f, []byte("IMPSgarbage-not-a-valid-snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckptcache.Flush()
+
+	res, err := runCfg(cfg, pol)
+	if err != nil {
+		t.Fatalf("corrupt checkpoint failed the run instead of cold-starting: %v", err)
+	}
+	if res.Cycles != pristine.Cycles || res.Throughput != pristine.Throughput || res.AMAT != pristine.AMAT {
+		t.Errorf("cold-start after corruption diverged: %+v vs %+v", res, pristine)
+	}
+	if s := ckptcache.GetStats(); s.Corrupt == 0 {
+		t.Error("corrupt blob was not evicted (Stats.Corrupt == 0)")
+	}
+	if _, err := os.Stat(files[0]); err == nil {
+		// The cold start re-published a fresh checkpoint under the same key;
+		// it must now restore cleanly.
+		ckptcache.Flush()
+		if _, err := runCfg(cfg, pol); err != nil {
+			t.Errorf("re-published checkpoint unusable: %v", err)
+		}
+	}
+}
+
 // TestExpSeedChangesResults checks the Seed plumbing actually reaches input
 // generation (and that the default remains the paper's seed-0 inputs).
 func TestExpSeedChangesResults(t *testing.T) {
@@ -143,7 +240,8 @@ func TestExpSeedChangesResults(t *testing.T) {
 // impsim -exp-seed) by deriving Config.Seed with ExpSeed.
 func TestExpSeedReproducesExperimentPoint(t *testing.T) {
 	tbl, err := Experiments.Run("fig1", ExpOptions{
-		Cores: 4, Scale: 0.05, Workloads: []string{"spmv"}, Seed: 7,
+		Cores: 4, Scale: 0.05, Workloads: []string{"spmv"},
+		RunOptions: RunOptions{Seed: 7},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,11 +265,14 @@ func TestExpProgressEvents(t *testing.T) {
 	var mu sync.Mutex
 	var events []ProgressEvent
 	_, err := Experiments.Run("fig12", ExpOptions{
-		Cores: 4, Scale: 0.05, Workloads: testWorkloads, Parallelism: 4,
-		OnProgress: func(e ProgressEvent) {
-			mu.Lock() // callback is serialized, but the test asserts from outside
-			events = append(events, e)
-			mu.Unlock()
+		Cores: 4, Scale: 0.05, Workloads: testWorkloads,
+		RunOptions: RunOptions{
+			Parallelism: 4,
+			OnProgress: func(e ProgressEvent) {
+				mu.Lock() // callback is serialized, but the test asserts from outside
+				events = append(events, e)
+				mu.Unlock()
+			},
 		},
 	})
 	if err != nil {
@@ -203,7 +304,8 @@ func TestExpContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := Experiments.Run("fig9", ExpOptions{
-		Cores: 4, Scale: 0.05, Workloads: testWorkloads, Context: ctx,
+		Cores: 4, Scale: 0.05, Workloads: testWorkloads,
+		RunOptions: RunOptions{Context: ctx},
 	})
 	if err == nil {
 		t.Fatal("cancelled context did not abort the experiment")
@@ -216,7 +318,9 @@ func TestRunSweepMatchesRun(t *testing.T) {
 		{Workload: "pagerank", Cores: 4, Scale: 0.05, System: SystemBaseline},
 		{Workload: "dense", Cores: 4, Scale: 0.05, System: SystemIdeal},
 	}
-	swept, err := RunSweep(context.Background(), cfgs, SweepOptions{Parallelism: 3})
+	swept, err := RunSweep(context.Background(), cfgs, SweepOptions{
+		RunOptions: RunOptions{Parallelism: 3},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -290,26 +290,11 @@ func RunProgram(prog *Program, cfg Config) (*Result, error) {
 
 // Run builds the workload trace (unless pre-built) and simulates it.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Cores <= 0 {
-		cfg.Cores = 64
+	cfg.applyDefaults()
+	prog, err := cfg.resolveProgram()
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Scale <= 0 {
-		cfg.Scale = 1.0
-	}
-	prog := cfg.program
-	if prog == nil {
-		p, err := progcache.Get(cfg.Workload, workload.Options{
-			Cores:            cfg.Cores,
-			Scale:            cfg.Scale,
-			SoftwarePrefetch: cfg.System == SystemSWPrefetch,
-			Seed:             cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		prog = p
-	}
-
 	scfg, err := cfg.simConfig()
 	if err != nil {
 		return nil, err
@@ -319,6 +304,37 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return newResult(m), nil
+}
+
+// applyDefaults fills the run-shaping defaults (Cores 64, Scale 1.0) in
+// place, so every entry point resolves the same effective configuration.
+func (cfg *Config) applyDefaults() {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 64
+	}
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+}
+
+// workloadOptions is the trace build request cfg implies — the same values
+// participate in trace-cache and checkpoint content keys.
+func (cfg Config) workloadOptions() workload.Options {
+	return workload.Options{
+		Cores:            cfg.Cores,
+		Scale:            cfg.Scale,
+		SoftwarePrefetch: cfg.System == SystemSWPrefetch,
+		Seed:             cfg.Seed,
+	}
+}
+
+// resolveProgram returns the pre-built trace when one is attached, and
+// otherwise builds (or fetches) it through the trace cache.
+func (cfg Config) resolveProgram() (*trace.Program, error) {
+	if cfg.program != nil {
+		return cfg.program, nil
+	}
+	return progcache.Get(cfg.Workload, cfg.workloadOptions())
 }
 
 func (cfg Config) simConfig() (sim.Config, error) {

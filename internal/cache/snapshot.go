@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+// Snapshot appends the cache's mutable state — replacement clock plus every
+// frame — to w. Geometry (sets, ways, sector size) is not encoded; it is
+// reconstructed from the Config when the owning simulator rebuilds the cache,
+// and Restore cross-checks the frame count.
+func (c *Cache) Snapshot(w *snap.Writer) {
+	w.U64(c.clock)
+	w.Int(len(c.lines))
+	for i := range c.lines {
+		if c.tags[i] == tagFree {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		ln := &c.lines[i]
+		w.U64(ln.Tag)
+		w.U8(uint8(ln.State))
+		w.U8(uint8(ln.Valid))
+		w.I64(ln.FillTime)
+		w.Bool(ln.Prefetched)
+		w.Bool(ln.Used)
+		w.U8(ln.Touch)
+		w.U64(ln.lru)
+	}
+}
+
+// Restore overwrites the cache's frames and clock with a state written by
+// Snapshot. The cache must have been built with the same Config.
+func (c *Cache) Restore(r *snap.Reader) error {
+	c.clock = r.U64()
+	if n := r.Int(); n != len(c.lines) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("cache: snapshot has %d frames, cache has %d", n, len(c.lines))
+	}
+	for i := range c.lines {
+		if !r.Bool() {
+			c.lines[i] = Line{}
+			c.tags[i] = tagFree
+			continue
+		}
+		ln := &c.lines[i]
+		ln.Tag = r.U64()
+		ln.State = State(r.U8())
+		ln.Valid = SectorMask(r.U8())
+		ln.FillTime = r.I64()
+		ln.Prefetched = r.Bool()
+		ln.Used = r.Bool()
+		ln.Touch = r.U8()
+		ln.lru = r.U64()
+		c.tags[i] = ln.Tag
+	}
+	return r.Err()
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/impsim/imp/internal/mem"
+	"github.com/impsim/imp/internal/snap"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Snapshot appends the prefetcher's full architectural state to w: the
+// prefetch table, the pattern detector, the granularity predictor, clock and
+// stats. The memory tap and the in-flight request scratch slice are not
+// state — the tap is re-attached on restore and the scratch only lives
+// inside one Observe call.
+func (m *IMP) Snapshot(w *snap.Writer) {
+	w.U64(m.clock)
+	w.U64(m.stats.IndexAccesses)
+	w.U64(m.stats.StreamPrefetches)
+	w.U64(m.stats.IndirectPrefetches)
+	w.U64(m.stats.PatternsDetected)
+	w.U64(m.stats.SecondaryDetected)
+	w.U64(m.stats.DetectionFailures)
+	w.U64(m.stats.ConfidenceDrops)
+
+	w.Int(len(m.pt))
+	for i := range m.pt {
+		e := &m.pt[i]
+		w.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		w.U64(e.lru)
+		w.U64(uint64(e.pc))
+		w.U64(uint64(e.lastAddr))
+		w.U8(e.elemSize)
+		w.I64(int64(e.dir))
+		w.Int(e.streamHits)
+		w.U64(e.aheadLine)
+		w.U64(e.streamCount)
+		w.Bool(e.enabled)
+		w.I64(int64(e.shift))
+		w.U64(e.baseAddr)
+		w.U64(e.index)
+		w.Bool(e.indexValid)
+		w.Int(e.hitCnt)
+		w.Int(e.prefDist)
+		w.U64(uint64(e.aheadAddr))
+		w.Int(e.storeSeen)
+		w.Int(e.loadSeen)
+		w.Int(e.failCount)
+		w.U64(e.backoffTill)
+		w.U8(uint8(e.indType))
+		w.I64(int64(e.nextWay))
+		w.I64(int64(e.nextLevel))
+		w.I64(int64(e.prev))
+	}
+
+	w.Int(len(m.ipd))
+	for i := range m.ipd {
+		e := &m.ipd[i]
+		w.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		w.Int(e.ptIndex)
+		w.U8(uint8(e.kind))
+		w.U64(e.idx1)
+		w.U64(e.idx2)
+		w.Bool(e.hasIdx2)
+		w.Int(e.miss1)
+		w.Int(e.miss2)
+		w.Int(len(e.baseaddrs))
+		for _, b := range e.baseaddrs {
+			w.U64(b)
+		}
+		w.Int(e.parentPT)
+	}
+
+	w.Bool(m.gp != nil)
+	if m.gp != nil {
+		m.gp.snapshot(w)
+	}
+}
+
+// Restore replaces the prefetcher's state with one written by Snapshot. The
+// instance must have been built with the same Params (and a fresh memory
+// tap over the equivalent address space).
+func (m *IMP) Restore(r *snap.Reader) error {
+	m.clock = r.U64()
+	m.stats = Stats{
+		IndexAccesses:      r.U64(),
+		StreamPrefetches:   r.U64(),
+		IndirectPrefetches: r.U64(),
+		PatternsDetected:   r.U64(),
+		SecondaryDetected:  r.U64(),
+		DetectionFailures:  r.U64(),
+		ConfidenceDrops:    r.U64(),
+	}
+
+	if n := r.Int(); n != len(m.pt) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("core: snapshot has %d PT entries, table has %d", n, len(m.pt))
+	}
+	for i := range m.pt {
+		e := &m.pt[i]
+		*e = ptEntry{valid: r.Bool()}
+		if !e.valid {
+			continue
+		}
+		e.lru = r.U64()
+		e.pc = trace.PC(r.U64())
+		e.lastAddr = mem.Addr(r.U64())
+		e.elemSize = r.U8()
+		e.dir = int8(r.I64())
+		e.streamHits = r.Int()
+		e.aheadLine = r.U64()
+		e.streamCount = r.U64()
+		e.enabled = r.Bool()
+		e.shift = int8(r.I64())
+		e.baseAddr = r.U64()
+		e.index = r.U64()
+		e.indexValid = r.Bool()
+		e.hitCnt = r.Int()
+		e.prefDist = r.Int()
+		e.aheadAddr = mem.Addr(r.U64())
+		e.storeSeen = r.Int()
+		e.loadSeen = r.Int()
+		e.failCount = r.Int()
+		e.backoffTill = r.U64()
+		e.indType = indType(r.U8())
+		e.nextWay = int8(r.I64())
+		e.nextLevel = int8(r.I64())
+		e.prev = int8(r.I64())
+	}
+
+	if n := r.Int(); n != len(m.ipd) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("core: snapshot has %d IPD entries, table has %d", n, len(m.ipd))
+	}
+	for i := range m.ipd {
+		e := &m.ipd[i]
+		*e = ipdEntry{valid: r.Bool()}
+		if !e.valid {
+			continue
+		}
+		e.ptIndex = r.Int()
+		e.kind = indType(r.U8())
+		e.idx1 = r.U64()
+		e.idx2 = r.U64()
+		e.hasIdx2 = r.Bool()
+		e.miss1 = r.Int()
+		e.miss2 = r.Int()
+		nb := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		want := len(m.p.Shifts) * m.p.BaseAddrArrayLen
+		if nb != want {
+			return fmt.Errorf("core: snapshot IPD entry has %d base addrs, params need %d", nb, want)
+		}
+		e.baseaddrs = make([]uint64, nb)
+		for j := range e.baseaddrs {
+			e.baseaddrs[j] = r.U64()
+		}
+		e.parentPT = r.Int()
+	}
+
+	hasGP := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasGP != (m.gp != nil) {
+		return fmt.Errorf("core: snapshot GP presence %v, params say %v", hasGP, m.gp != nil)
+	}
+	if m.gp != nil {
+		if err := m.gp.restore(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+// snapshot appends the granularity predictor's state. The tracked map is
+// written sorted by line id so equal predictors snapshot to equal bytes.
+func (g *GranularityPredictor) snapshot(w *snap.Writer) {
+	w.Int(len(g.entries))
+	for i := range g.entries {
+		e := &g.entries[i]
+		w.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		w.Int(e.granuSectors)
+		w.Int(e.minGranu)
+		w.Int(e.totSectors)
+		w.Int(e.evicts)
+		w.U64(e.issued)
+		w.Int(len(e.samples))
+		for _, s := range e.samples {
+			w.U64(s)
+		}
+	}
+	lines := make([]uint64, 0, len(g.tracked))
+	for l := range g.tracked {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	w.Int(len(lines))
+	for _, l := range lines {
+		w.U64(l)
+		w.Int(g.tracked[l])
+	}
+}
+
+func (g *GranularityPredictor) restore(r *snap.Reader) error {
+	if n := r.Int(); n != len(g.entries) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("core: snapshot has %d GP entries, table has %d", n, len(g.entries))
+	}
+	for i := range g.entries {
+		e := &g.entries[i]
+		*e = gpEntry{valid: r.Bool()}
+		if !e.valid {
+			continue
+		}
+		e.granuSectors = r.Int()
+		e.minGranu = r.Int()
+		e.totSectors = r.Int()
+		e.evicts = r.Int()
+		e.issued = r.U64()
+		ns := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if ns < 0 || ns > g.p.GPSamples {
+			return fmt.Errorf("core: snapshot GP entry has %d samples, cap is %d", ns, g.p.GPSamples)
+		}
+		e.samples = make([]uint64, ns, g.p.GPSamples)
+		for j := range e.samples {
+			e.samples[j] = r.U64()
+		}
+	}
+	nt := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	g.tracked = make(map[uint64]int, nt)
+	for i := 0; i < nt; i++ {
+		line := r.U64()
+		g.tracked[line] = r.Int()
+	}
+	return r.Err()
+}

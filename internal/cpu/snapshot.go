@@ -1,0 +1,34 @@
+package cpu
+
+import "github.com/impsim/imp/internal/snap"
+
+// Snapshot appends the pipeline's mutable state to w: the live pending-load
+// window, the last completion time and the stall accumulator. The model kind
+// and window size come from configuration and are not encoded.
+func (p *Pipeline) Snapshot(w *snap.Writer) {
+	live := p.pending[p.head:]
+	w.Int(len(live))
+	for _, pl := range live {
+		w.U64(pl.instr)
+		w.I64(pl.complete)
+	}
+	w.I64(p.lastComplete)
+	w.I64(p.stallCycles)
+}
+
+// Restore overwrites the pipeline's state with one written by Snapshot. The
+// pipeline must have been built with the same kind and window.
+func (p *Pipeline) Restore(r *snap.Reader) error {
+	n := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	p.pending = p.pending[:0]
+	p.head = 0
+	for i := 0; i < n; i++ {
+		p.pending = append(p.pending, pendingLoad{instr: r.U64(), complete: r.I64()})
+	}
+	p.lastComplete = r.I64()
+	p.stallCycles = r.I64()
+	return r.Err()
+}

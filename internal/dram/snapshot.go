@@ -1,0 +1,136 @@
+package dram
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+// Snapshotter is implemented by DRAM models that can checkpoint their
+// timing state. Both built-in models implement it; the simulator refuses to
+// snapshot systems whose Model does not.
+type Snapshotter interface {
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader) error
+}
+
+// Snapshot appends the simple model's state: counters plus each controller's
+// bandwidth epoch ring, sparsely (an idle MC costs one varint). Stale slots
+// are kept exactly — reserve consults whatever (epoch, used) pair a slot
+// holds, so byte-identical resumption needs the full ring contents.
+func (s *Simple) Snapshot(w *snap.Writer) {
+	snapStats(w, s.stats)
+	w.Int(len(s.mcs))
+	for i := range s.mcs {
+		r := &s.mcs[i]
+		w.I64(r.hint)
+		used := 0
+		for j := 0; j < epochRing; j++ {
+			if r.epoch[j] != 0 || r.used[j] != 0 {
+				used++
+			}
+		}
+		w.Int(used)
+		for j := 0; j < epochRing; j++ {
+			if r.epoch[j] != 0 || r.used[j] != 0 {
+				w.Int(j)
+				w.I64(r.epoch[j])
+				w.F64(r.used[j])
+			}
+		}
+	}
+}
+
+// Restore replaces the simple model's state with one written by Snapshot.
+func (s *Simple) Restore(r *snap.Reader) error {
+	s.stats = readStats(r)
+	if n := r.Int(); n != len(s.mcs) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("dram: snapshot has %d MCs, model has %d", n, len(s.mcs))
+	}
+	for i := range s.mcs {
+		ring := &s.mcs[i]
+		*ring = mcRing{hint: r.I64()}
+		used := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := 0; j < used; j++ {
+			slot := r.Int()
+			if slot < 0 || slot >= epochRing {
+				return fmt.Errorf("dram: snapshot slot %d out of range", slot)
+			}
+			ring.epoch[slot] = r.I64()
+			ring.used[slot] = r.F64()
+		}
+	}
+	return r.Err()
+}
+
+// Snapshot appends the DDR3 model's state: counters, per-bank row/timing
+// state and the per-MC data-bus watermarks.
+func (d *DDR3) Snapshot(w *snap.Writer) {
+	snapStats(w, d.stats)
+	w.Int(len(d.banks))
+	for mc := range d.banks {
+		w.Int(len(d.banks[mc]))
+		for i := range d.banks[mc] {
+			b := &d.banks[mc][i]
+			w.I64(b.busyUntil)
+			w.I64(b.openRow)
+			w.I64(b.activated)
+		}
+	}
+	w.Int(len(d.bus))
+	for _, t := range d.bus {
+		w.I64(t)
+	}
+}
+
+// Restore replaces the DDR3 model's state with one written by Snapshot.
+func (d *DDR3) Restore(r *snap.Reader) error {
+	d.stats = readStats(r)
+	if n := r.Int(); n != len(d.banks) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("dram: snapshot has %d MCs, model has %d", n, len(d.banks))
+	}
+	for mc := range d.banks {
+		if n := r.Int(); n != len(d.banks[mc]) {
+			if r.Err() != nil {
+				return r.Err()
+			}
+			return fmt.Errorf("dram: snapshot has %d banks, model has %d", n, len(d.banks[mc]))
+		}
+		for i := range d.banks[mc] {
+			b := &d.banks[mc][i]
+			b.busyUntil = r.I64()
+			b.openRow = r.I64()
+			b.activated = r.I64()
+		}
+	}
+	if n := r.Int(); n != len(d.bus) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("dram: snapshot has %d bus entries, model has %d", n, len(d.bus))
+	}
+	for i := range d.bus {
+		d.bus[i] = r.I64()
+	}
+	return r.Err()
+}
+
+func snapStats(w *snap.Writer, s Stats) {
+	w.U64(s.Accesses)
+	w.U64(s.Bytes)
+	w.U64(s.RowHits)
+	w.U64(s.RowMisses)
+}
+
+func readStats(r *snap.Reader) Stats {
+	return Stats{Accesses: r.U64(), Bytes: r.U64(), RowHits: r.U64(), RowMisses: r.U64()}
+}

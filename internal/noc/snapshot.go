@@ -1,0 +1,69 @@
+package noc
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+// Snapshot appends the mesh's state to w: traffic counters plus every
+// link's epoch-ring occupancy. Ring slots are encoded sparsely — most links
+// are idle at any checkpoint, and an idle link costs one varint — but stale
+// slots are preserved exactly: reserve consults the (epoch, used) pair it
+// finds in a slot, so reproducing byte-identical contention requires the
+// full ring contents, not just "live" reservations.
+func (m *Mesh) Snapshot(w *snap.Writer) {
+	w.U64(m.FlitHops)
+	w.U64(m.Packets)
+	w.U64(m.DataBytes)
+	w.Int(len(m.links))
+	for i := range m.links {
+		l := &m.links[i]
+		w.I64(l.hint)
+		used := 0
+		for s := 0; s < epochRing; s++ {
+			if l.epoch[s] != 0 || l.used[s] != 0 {
+				used++
+			}
+		}
+		w.Int(used)
+		for s := 0; s < epochRing; s++ {
+			if l.epoch[s] != 0 || l.used[s] != 0 {
+				w.Int(s)
+				w.I64(l.epoch[s])
+				w.I64(int64(l.used[s]))
+			}
+		}
+	}
+}
+
+// Restore replaces the mesh's state with one written by Snapshot. The mesh
+// must have been built with the same Config.
+func (m *Mesh) Restore(r *snap.Reader) error {
+	m.FlitHops = r.U64()
+	m.Packets = r.U64()
+	m.DataBytes = r.U64()
+	if n := r.Int(); n != len(m.links) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("noc: snapshot has %d links, mesh has %d", n, len(m.links))
+	}
+	for i := range m.links {
+		l := &m.links[i]
+		*l = link{hint: r.I64()}
+		used := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for j := 0; j < used; j++ {
+			s := r.Int()
+			if s < 0 || s >= epochRing {
+				return fmt.Errorf("noc: snapshot slot %d out of range", s)
+			}
+			l.epoch[s] = r.I64()
+			l.used[s] = int32(r.I64())
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,119 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/snap"
+	"github.com/impsim/imp/internal/trace"
+)
+
+// Snapshotter is implemented by prefetchers that can checkpoint their table
+// state. Null carries no state and is handled by the simulator directly.
+type Snapshotter interface {
+	Snapshot(w *snap.Writer)
+	Restore(r *snap.Reader) error
+}
+
+// Snapshot appends the stream prefetcher's table and clock to w.
+func (s *Stream) Snapshot(w *snap.Writer) {
+	w.U64(s.clock)
+	w.Int(len(s.entries))
+	for i := range s.entries {
+		e := &s.entries[i]
+		w.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		w.U64(uint64(e.pc))
+		w.U64(e.lastLine)
+		w.Int(e.hits)
+		w.I64(e.dir)
+		w.U64(e.ahead)
+		w.U64(e.lru)
+	}
+}
+
+// Restore replaces the stream prefetcher's state with one written by
+// Snapshot. The prefetcher must have been built with the same config.
+func (s *Stream) Restore(r *snap.Reader) error {
+	s.clock = r.U64()
+	if n := r.Int(); n != len(s.entries) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("prefetch: snapshot has %d stream entries, table has %d", n, len(s.entries))
+	}
+	for i := range s.entries {
+		e := &s.entries[i]
+		*e = streamEntry{valid: r.Bool()}
+		if !e.valid {
+			continue
+		}
+		e.pc = trace.PC(r.U64())
+		e.lastLine = r.U64()
+		e.hits = r.Int()
+		e.dir = r.I64()
+		e.ahead = r.U64()
+		e.lru = r.U64()
+	}
+	return r.Err()
+}
+
+// Snapshot appends the GHB's history buffer, PC index and clock to w. The
+// chain-walk scratch buffer is not state and is not encoded.
+func (g *GHB) Snapshot(w *snap.Writer) {
+	w.U64(g.clock)
+	w.Int(g.head)
+	w.Bool(g.filled)
+	w.Int(len(g.buf))
+	for i := range g.buf {
+		w.U64(g.buf[i].line)
+		w.Int(g.buf[i].prev)
+	}
+	w.Int(len(g.index))
+	for i := range g.index {
+		e := &g.index[i]
+		w.Bool(e.valid)
+		if !e.valid {
+			continue
+		}
+		w.U64(uint64(e.pc))
+		w.Int(e.head)
+		w.U64(e.lru)
+	}
+}
+
+// Restore replaces the GHB's state with one written by Snapshot. The
+// prefetcher must have been built with the same config.
+func (g *GHB) Restore(r *snap.Reader) error {
+	g.clock = r.U64()
+	g.head = r.Int()
+	g.filled = r.Bool()
+	if n := r.Int(); n != len(g.buf) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("prefetch: snapshot has %d GHB buffer entries, model has %d", n, len(g.buf))
+	}
+	for i := range g.buf {
+		g.buf[i].line = r.U64()
+		g.buf[i].prev = r.Int()
+	}
+	if n := r.Int(); n != len(g.index) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("prefetch: snapshot has %d GHB index entries, model has %d", n, len(g.index))
+	}
+	for i := range g.index {
+		e := &g.index[i]
+		*e = ghbIndex{valid: r.Bool()}
+		if !e.valid {
+			continue
+		}
+		e.pc = trace.PC(r.U64())
+		e.head = r.Int()
+		e.lru = r.U64()
+	}
+	return r.Err()
+}

@@ -84,7 +84,7 @@ func TestClusterBackendKilledMidStream(t *testing.T) {
 	if reOwner == owner {
 		t.Fatalf("resubmission rehashed onto the dead backend b%d", owner)
 	}
-	direct, err := imp.RunSweep(ctx, slowSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	direct, err := imp.RunSweep(ctx, slowSweepSpec().Sweep, imp.SweepOptions{RunOptions: imp.RunOptions{Parallelism: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,7 +98,7 @@ func TestClusterByteIdentitySweep(t *testing.T) {
 		t.Fatalf("job landed on impossible backend: %s", st.ID)
 	}
 
-	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{RunOptions: imp.RunOptions{Parallelism: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

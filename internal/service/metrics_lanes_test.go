@@ -147,6 +147,22 @@ func TestLaneOccupancyInStatsAndMetrics(t *testing.T) {
 	svc, c := startService(t, Config{Executors: 1, Parallelism: 1})
 	ctx := context.Background()
 
+	// Hold the service's only simulation slot so the first job blocks
+	// mid-run and the second stays queued until we let go — the occupancy
+	// window is under test control instead of racing sim speed (a warm
+	// trace cache finishes these sweeps in well under one poll interval).
+	if err := svc.gate.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			svc.gate.Release()
+		}
+	}
+	defer release()
+
 	submit := func(lane api.Lane, seed int64) api.JobStatus {
 		t.Helper()
 		st, err := c.Submit(ctx, api.JobSpec{
@@ -163,8 +179,9 @@ func TestLaneOccupancyInStatsAndMetrics(t *testing.T) {
 	first := submit(api.LaneBulk, 1)
 	queued := submit(api.LaneBulk, 2)
 
-	// The first job occupies the single executor; the second waits in the
-	// bulk lane. Poll briefly — the executor picks work up asynchronously.
+	// The first job occupies the single executor (blocked on the gate we
+	// hold); the second waits in the bulk lane. Poll only for the executor
+	// to pick the first job up — the occupancy then holds until release.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		st := svc.Stats()
@@ -187,6 +204,7 @@ func TestLaneOccupancyInStatsAndMetrics(t *testing.T) {
 		t.Error("queue depth gauge missing the queued bulk job")
 	}
 
+	release()
 	for _, id := range []string{first.ID, queued.ID} {
 		c.Cancel(ctx, id)
 	}

@@ -78,6 +78,11 @@ type Config struct {
 	// BulkThreshold is the sweep size beyond which an unlabeled submission
 	// is classified into the bulk lane (default api.DefaultBulkThreshold).
 	BulkThreshold int
+	// Checkpoints, when enabled, lets jobs share simulation prefixes
+	// through the checkpoint cache: sweep points with identical effective
+	// simulations fork from one snapshotted replay instead of each
+	// re-simulating it. Results are byte-identical either way.
+	Checkpoints imp.CheckpointPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +273,14 @@ func (s *Service) initMetrics() {
 		func() float64 { return float64(s.store.stats().DiskPuts) })
 	r.CounterFunc("imp_service_store_corrupt_total", "On-disk results evicted for failing their integrity check.",
 		func() float64 { return float64(s.store.stats().Corrupt) })
+	// Checkpointed-sweep counters. The imp package counts process-wide (one
+	// checkpoint cache per process), which is exactly the service's scope.
+	r.CounterFunc("imp_service_checkpoint_hits_total", "Sweep points forked from a restored simulation checkpoint.",
+		func() float64 { return float64(imp.GetCheckpointStats().Hits) })
+	r.CounterFunc("imp_service_checkpoint_misses_total", "Shared replays simulated cold and published to the checkpoint cache.",
+		func() float64 { return float64(imp.GetCheckpointStats().Misses) })
+	r.CounterFunc("imp_service_prefix_cycles_saved_total", "Simulated cycles restored from checkpoints instead of re-simulated.",
+		func() float64 { return float64(imp.GetCheckpointStats().PrefixCyclesSaved) })
 }
 
 func laneSamples(val func(api.Lane) float64) []metrics.Sample {
@@ -589,6 +602,7 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 // Stats snapshots the service counters — the same values /metrics exports.
 func (s *Service) Stats() api.ServiceStats {
 	ss := s.store.stats()
+	cs := imp.GetCheckpointStats()
 	quotaRej := s.mQuotaRej.Total()
 	queueRej := s.mQueueRej.Value()
 	s.mu.Lock()
@@ -606,6 +620,9 @@ func (s *Service) Stats() api.ServiceStats {
 		RunningBulk:        s.running[api.LaneBulk],
 		QuotaRejections:    quotaRej,
 		QueueRejections:    queueRej,
+		CheckpointHits:     cs.Hits,
+		CheckpointMisses:   cs.Misses,
+		PrefixCyclesSaved:  cs.PrefixCyclesSaved,
 	}
 }
 
@@ -784,7 +801,10 @@ func (s *Service) execute(ctx context.Context, j *Job) ([]byte, error) {
 	}
 	if len(spec.Sweep) > 0 {
 		results, err := imp.RunSweep(ctx, spec.Sweep, imp.SweepOptions{
-			Parallelism: spec.Parallelism, OnProgress: onProgress, Gate: s.gate,
+			RunOptions: imp.RunOptions{
+				Parallelism: spec.Parallelism, OnProgress: onProgress,
+				Gate: s.gate, Checkpoints: s.cfg.Checkpoints,
+			},
 		})
 		if err != nil {
 			return nil, err
@@ -793,8 +813,11 @@ func (s *Service) execute(ctx context.Context, j *Job) ([]byte, error) {
 	}
 	tbl, err := imp.Experiments.Run(spec.Experiment, imp.ExpOptions{
 		Cores: spec.Cores, Scale: spec.Scale, Workloads: spec.Workloads,
-		Seed: spec.Seed, Parallelism: spec.Parallelism,
-		Context: ctx, OnProgress: onProgress, Gate: s.gate,
+		RunOptions: imp.RunOptions{
+			Seed: spec.Seed, Parallelism: spec.Parallelism,
+			Context: ctx, OnProgress: onProgress,
+			Gate: s.gate, Checkpoints: s.cfg.Checkpoints,
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -82,7 +82,7 @@ func TestSubmitStreamResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{Parallelism: 1})
+	direct, err := imp.RunSweep(ctx, testSweepSpec().Sweep, imp.SweepOptions{RunOptions: imp.RunOptions{Parallelism: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

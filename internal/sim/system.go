@@ -114,6 +114,11 @@ type system struct {
 
 	streamErr error // first record-stream decode failure
 
+	// started records that the scheduling heap has been seeded; resumed
+	// runs (Finish after RunUntil, restored snapshots) must keep the heap
+	// as-is rather than re-seed it.
+	started bool
+
 	// barrier state
 	arrivedCount int
 	maxArrival   int64
@@ -260,16 +265,50 @@ func (s *system) heapPop() *tile {
 }
 
 func (s *system) run() {
-	s.h = make([]*tile, 0, len(s.tiles))
-	for _, t := range s.tiles {
-		s.heapPush(t)
-	}
+	s.seedHeap()
 	for len(s.h) > 0 {
 		t := s.heapPop()
 		s.step(t)
 		if !t.done && !t.waiting {
 			s.heapPush(t)
 		}
+	}
+}
+
+// runUntil executes the run loop until the next tile to be stepped has
+// consumed at least limit records, then stops before stepping it. The stop
+// check peeks at the heap root — the exact tile heapPop would return — and
+// leaves the heap untouched, so the steps executed are a strict prefix of
+// run's step sequence and resuming (run after runUntil, or a restored
+// snapshot) continues byte-identically. The heap array itself is preserved,
+// never rebuilt: entries go stale when a tile's clock advances while a
+// duplicate entry is still queued (barrier release re-pushes the last
+// arriver), and pop order — hence simulated contention — depends on the
+// exact layout.
+func (s *system) runUntil(limit int) {
+	s.seedHeap()
+	for len(s.h) > 0 {
+		if s.h[0].pos >= limit {
+			return
+		}
+		t := s.heapPop()
+		s.step(t)
+		if !t.done && !t.waiting {
+			s.heapPush(t)
+		}
+	}
+}
+
+// seedHeap pushes every tile onto the scheduling heap, once per system
+// lifetime; resumed runs keep the existing heap.
+func (s *system) seedHeap() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.h = make([]*tile, 0, len(s.tiles))
+	for _, t := range s.tiles {
+		s.heapPush(t)
 	}
 }
 

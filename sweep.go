@@ -8,19 +8,10 @@ import (
 	"github.com/impsim/imp/internal/harness"
 )
 
-// SweepOptions configure RunSweep.
+// SweepOptions configure RunSweep. All knobs live in the embedded
+// RunOptions, shared with ExpOptions.
 type SweepOptions struct {
-	// Parallelism bounds concurrent simulations (<=0: GOMAXPROCS).
-	Parallelism int
-	// OnProgress, when non-nil, receives one event per completed point
-	// (Experiment is empty for ad-hoc sweeps). It is never called
-	// concurrently with itself.
-	OnProgress func(ProgressEvent)
-	// Gate, when non-nil, additionally bounds in-flight simulations across
-	// every sweep sharing the gate (see NewGate). A service running many
-	// sweeps concurrently uses one gate to cap total simulation load;
-	// results are unaffected — gating only changes scheduling.
-	Gate Gate
+	RunOptions
 }
 
 // Gate bounds concurrent simulations across independent sweeps. Obtain one
@@ -40,18 +31,29 @@ func NewGate(n int) Gate { return harness.NewGate(n) }
 // returns one result per config, in config order — the results are identical
 // to running each config serially through Run. Traces are built per point
 // (configs in a sweep usually differ in workload, cores or scale); use
-// Experiments for the paper's trace-sharing sweeps.
+// Experiments for the paper's trace-sharing sweeps. With opt.Checkpoints
+// enabled, configs whose effective simulation is identical share one replay
+// through the checkpoint cache instead of cold-starting each.
 func RunSweep(ctx context.Context, cfgs []Config, opt SweepOptions) ([]*Result, error) {
-	meta := make([]sweepMeta, len(cfgs))
+	pts := make([]simPoint, len(cfgs))
 	for i, cfg := range cfgs {
-		meta[i] = sweepMeta{workload: cfg.Workload, system: cfg.System}
-	}
-	return sweepSim(ctx, opt.Parallelism, opt.Gate, meta, func(ctx context.Context, i int) (*Result, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		cfg.applyDefaults()
+		if cfg.Seed == 0 && opt.Seed != 0 {
+			cfg.Seed = ExpSeed(opt.Seed, cfg.Workload)
 		}
-		return Run(cfgs[i])
-	}, opt.OnProgress, nil)
+		cfg := cfg
+		pts[i] = simPoint{
+			meta: sweepMeta{workload: cfg.Workload, system: cfg.System},
+			run: func(ctx context.Context) (*Result, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				return runCfg(cfg, opt.Checkpoints)
+			},
+		}
+		pts[i].prefixKey, pts[i].runPrefix = prefixFor(cfg, opt.Checkpoints)
+	}
+	return sweepSim(opt.ctx(ctx), opt.RunOptions, pts, nil)
 }
 
 // ExpSeed returns the trace seed an experiment derives for workload from a
@@ -69,38 +71,45 @@ type sweepMeta struct {
 	system     System
 }
 
+// simPoint is one fully-resolved sweep point: event metadata, the leaf
+// simulation closure, and (with checkpointing on) the prefix-sharing key
+// and warm-up closure the harness runs once per group.
+type simPoint struct {
+	meta      sweepMeta
+	prefixKey string
+	runPrefix func(ctx context.Context) error
+	run       func(ctx context.Context) (*Result, error)
+}
+
 // sweepSim is the one adapter between simulation sweeps and the harness:
 // it wraps per-point sim closures into labeled harness points, fans them out
 // with fail-fast bounded parallelism, translates harness events into
 // ProgressEvents, and returns results in point order.
-func sweepSim(ctx context.Context, parallelism int, gate Gate, meta []sweepMeta,
-	sim func(ctx context.Context, i int) (*Result, error),
-	onProgress func(ProgressEvent), progress func(string)) ([]*Result, error) {
-	pts := make([]harness.Point[*Result], len(meta))
-	for i := range meta {
-		i := i
-		pts[i] = harness.Point[*Result]{
-			Label: fmt.Sprintf("%s/%s", meta[i].workload, meta[i].system),
-			Run: func(ctx context.Context) (*Result, error) {
-				return sim(ctx, i)
-			},
+func sweepSim(ctx context.Context, opt RunOptions, pts []simPoint, progress func(string)) ([]*Result, error) {
+	hpts := make([]harness.Point[*Result], len(pts))
+	for i := range pts {
+		hpts[i] = harness.Point[*Result]{
+			Label:     fmt.Sprintf("%s/%s", pts[i].meta.workload, pts[i].meta.system),
+			PrefixKey: pts[i].prefixKey,
+			RunPrefix: pts[i].runPrefix,
+			Run:       pts[i].run,
 		}
 	}
 	var onEvent func(harness.Event, *Result)
-	if onProgress != nil || progress != nil {
+	if opt.OnProgress != nil || progress != nil {
 		onEvent = func(e harness.Event, res *Result) {
 			// Points skipped by fail-fast cancellation never simulated
 			// anything; reporting each would bury the real failure.
 			if errors.Is(e.Err, context.Canceled) || errors.Is(e.Err, context.DeadlineExceeded) {
 				return
 			}
-			m := meta[e.Index]
+			m := pts[e.Index].meta
 			var cycles int64
 			if res != nil {
 				cycles = res.Cycles
 			}
-			if onProgress != nil {
-				onProgress(ProgressEvent{
+			if opt.OnProgress != nil {
+				opt.OnProgress(ProgressEvent{
 					Experiment: m.experiment, Workload: m.workload, System: m.system,
 					Point: e.Index, Total: e.Total, Done: e.Done,
 					Cycles: cycles, Elapsed: e.Elapsed, Err: e.Err,
@@ -111,6 +120,6 @@ func sweepSim(ctx context.Context, parallelism int, gate Gate, meta []sweepMeta,
 			}
 		}
 	}
-	return harness.Sweep(ctx, pts,
-		harness.Options{Workers: parallelism, FailFast: true, Gate: gate}, onEvent)
+	return harness.Sweep(ctx, hpts,
+		harness.Options{Workers: opt.Parallelism, FailFast: true, Gate: opt.Gate}, onEvent)
 }
