@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout and stderr redirected and returns both.
+func capture(t *testing.T, f func()) (stdout, stderr string) {
+	t.Helper()
+	collect := func(target **os.File) func() string {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := *target
+		*target = w
+		return func() string {
+			w.Close()
+			*target = old
+			data, _ := io.ReadAll(r)
+			r.Close()
+			return string(data)
+		}
+	}
+	outDone := collect(&os.Stdout)
+	errDone := collect(&os.Stderr)
+	f()
+	return outDone(), errDone()
+}
+
+// TestFlagsProtocol checks the -flags handshake the go command performs
+// before splitting vet arguments: the output must be a JSON flag list.
+func TestFlagsProtocol(t *testing.T) {
+	out, _ := capture(t, func() {
+		if code := run([]string{"-flags"}); code != 0 {
+			t.Errorf("run(-flags) = %d, want 0", code)
+		}
+	})
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(out), &flags); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	names := make(map[string]bool)
+	for _, f := range flags {
+		names[f.Name] = true
+	}
+	if !names["json"] {
+		t.Errorf("-flags output %s does not declare the json flag", out)
+	}
+}
+
+// TestVersionProtocol checks the -V=full fingerprint shape the go command
+// parses into its cache key: argv0, "version", and a trailing buildID=.
+func TestVersionProtocol(t *testing.T) {
+	out, _ := capture(t, func() {
+		if code := run([]string{"-V=full"}); code != 0 {
+			t.Errorf("run(-V=full) = %d, want 0", code)
+		}
+	})
+	fields := strings.Fields(strings.TrimSpace(out))
+	if len(fields) < 3 || fields[1] != "version" || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full output %q does not match `argv0 version ... buildID=...`", out)
+	}
+}
+
+// TestStandaloneClean runs the real suite over a real clean package.
+func TestStandaloneClean(t *testing.T) {
+	_, errOut := capture(t, func() {
+		if code := run([]string{"github.com/impsim/imp/internal/snap"}); code != 0 {
+			t.Errorf("run over internal/snap = %d, want 0", code)
+		}
+	})
+	if errOut != "" {
+		t.Errorf("clean package produced output: %s", errOut)
+	}
+}
+
+// TestNoArgs checks the usage path's distinct exit status.
+func TestNoArgs(t *testing.T) {
+	_, errOut := capture(t, func() {
+		if code := run(nil); code != 2 {
+			t.Errorf("run() = %d, want 2", code)
+		}
+	})
+	for _, a := range []string{"snapfields", "nodeterminism", "apierrors"} {
+		if !strings.Contains(errOut, a) {
+			t.Errorf("usage output does not mention analyzer %s", a)
+		}
+	}
+}
+
+// TestBadCfg checks that a broken vet.cfg fails rather than passing vet.
+func TestBadCfg(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(path, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut := capture(t, func() {
+		if code := run([]string{path}); code != 1 {
+			t.Errorf("run(bad cfg) = %d, want 1", code)
+		}
+	})
+	if !strings.Contains(errOut, "impvet:") {
+		t.Errorf("bad cfg produced no error message: %q", errOut)
+	}
+}

@@ -1,0 +1,212 @@
+// Package analysis is the project's static-analysis suite: machine-checked
+// invariants over the codebase, run as a hard CI gate through cmd/impvet
+// (go vet -vettool). Three analyzers enforce the contracts the test suite
+// can only sample:
+//
+//   - snapfields: every persistent field of a snapshotted struct is
+//     referenced by both its snapshot writer and its restore reader, so a
+//     new simulator-state field that is not wired into checkpointing is a
+//     build break, not a corrupted resume.
+//   - nodeterminism: the deterministic zone (the simulator and everything
+//     that feeds it) is free of wall-clock reads, unseeded randomness and
+//     map iteration that feeds output or hashing.
+//   - apierrors: every HTTP error write goes through httpx/api.Error with
+//     a code from the canonical code<->status table.
+//
+// The package deliberately mirrors golang.org/x/tools/go/analysis — same
+// Analyzer/Pass/Diagnostic shape, same vet.cfg unitchecker protocol — but
+// is self-contained: the repo carries no module dependencies, so the
+// framework is rebuilt here on the standard library alone (go/ast,
+// go/types, go/importer).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flag prefixes.
+	Name string
+	// Doc is the one-paragraph description shown by impvet -help.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax. Test files (_test.go) are included
+	// when go vet hands them over; analyzers skip them via Pass.IsTestFile.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The analyzers
+// check production invariants; test servers and benchmark timing are
+// exempt wholesale.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// Analyzers is the suite cmd/impvet runs, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SnapFields, NoDeterminism, APIErrors}
+}
+
+// Annotation directives.
+//
+// The escape hatches are comment directives in the //imp: namespace,
+// always requiring a reason:
+//
+//	//imp:nosnap <reason>     field is derived/scratch, exempt from snapfields
+//	//imp:wallclock <reason>  this wall-clock or rand read is legitimate
+//	//imp:unordered <reason>  this map iteration is order-independent
+//
+// A directive applies to the source line it sits on and, when written as a
+// lead comment, to the line directly below it.
+const (
+	DirectiveNoSnap    = "nosnap"
+	DirectiveWallclock = "wallclock"
+	DirectiveUnordered = "unordered"
+)
+
+var directiveRE = regexp.MustCompile(`^//imp:(nosnap|wallclock|unordered)(.*)$`)
+
+// Directive is one //imp: annotation occurrence.
+type Directive struct {
+	Name   string // nosnap, wallclock or unordered
+	Reason string // trimmed text after the directive name
+	Pos    token.Pos
+}
+
+// directiveIndex resolves "is this position exempted?" queries for one pass.
+type directiveIndex struct {
+	fset *token.FileSet
+	// byLine maps file name + effective line to the directives covering it.
+	byLine map[string]map[int][]*Directive
+	all    []*Directive
+}
+
+// newDirectiveIndex scans every comment in files for //imp: directives.
+func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
+	idx := &directiveIndex{fset: fset, byLine: make(map[string]map[int][]*Directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				// A trailing "// want" belongs to the analysistest golden
+				// harness, not to the directive's reason.
+				reason, _, _ := strings.Cut(m[2], "// want")
+				d := &Directive{Name: m[1], Reason: strings.TrimSpace(reason), Pos: c.Pos()}
+				idx.all = append(idx.all, d)
+				posn := fset.Position(c.Pos())
+				lines := idx.byLine[posn.Filename]
+				if lines == nil {
+					lines = make(map[int][]*Directive)
+					idx.byLine[posn.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment) and
+				// the next line (lead comment above the annotated code).
+				lines[posn.Line] = append(lines[posn.Line], d)
+				lines[posn.Line+1] = append(lines[posn.Line+1], d)
+			}
+		}
+	}
+	return idx
+}
+
+// covering returns the directive of the given name covering pos, or nil.
+func (idx *directiveIndex) covering(name string, pos token.Pos) *Directive {
+	if !pos.IsValid() {
+		return nil
+	}
+	posn := idx.fset.Position(pos)
+	for _, d := range idx.byLine[posn.Filename][posn.Line] {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// reportBareDirectives flags directives of the given names that carry no
+// reason: the escape hatch is an audit trail, and a bare annotation
+// defeats it.
+func reportBareDirectives(pass *Pass, idx *directiveIndex, names ...string) {
+	for _, d := range idx.all {
+		if pass.IsTestFile(d.Pos) {
+			continue
+		}
+		for _, n := range names {
+			if d.Name == n && d.Reason == "" {
+				pass.Reportf(d.Pos, "//imp:%s needs a reason (e.g. //imp:%s rebuilt on restore)", n, n)
+			}
+		}
+	}
+}
+
+// isPkgPathSuffix reports whether path ends with the given slash-separated
+// suffix on a segment boundary ("internal/sim" matches
+// "github.com/impsim/imp/internal/sim" but not ".../myinternal/sim").
+func isPkgPathSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedStruct unwraps t (through pointers and aliases) to a named struct
+// type declared in pkg, or nil.
+func namedStruct(t types.Type, pkg *types.Package) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if n.Obj().Pkg() != pkg {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// sortedKeys returns m's keys in sorted order, keeping diagnostic order
+// deterministic (the analyzers practice what nodeterminism preaches).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,92 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// checks its findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Expectation syntax: a comment of the form
+//
+//	// want `regexp` `another regexp`
+//
+// declares that the analyzer must report, on that comment's line, one
+// diagnostic matching each regexp. Every diagnostic must be claimed by an
+// expectation and every expectation must be claimed by a diagnostic;
+// anything unmatched fails the test with positions and messages.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"testing"
+
+	"github.com/impsim/imp/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want((?:\\s+`[^`]*`)+)")
+var patRE = regexp.MustCompile("`([^`]*)`")
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (declared under pkgPath, so
+// zone-scoped analyzers can be pointed at it) and checks a's findings
+// against the fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := pkg.Run(a)
+	if err != nil {
+		t.Fatalf("running %s over %s: %v", a.Name, pkgPath, err)
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := pkg.Fset.Position(c.Pos())
+				for _, pm := range patRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posn, pm[1], err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := pkg.Fset.Position(d.Pos)
+		if !claim(wants, posn, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches the message.
+func claim(wants []*expectation, posn token.Position, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

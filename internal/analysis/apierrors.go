@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// APIErrors keeps the typed-error contract from the service/router HTTP
+// surfaces from regressing one handler at a time. Every error a server
+// writes must be an api.Error carrying a code from the canonical
+// code<->status table (api/error.go), emitted through internal/httpx.
+// Concretely:
+//
+//   - calls to net/http.Error are forbidden outside test files: they write
+//     a text/plain body no client can type-switch on; use
+//     httpx.WriteError / httpx.WriteAPIError
+//   - w.WriteHeader(4xx/5xx) with a constant status is forbidden outside
+//     internal/httpx itself: an error status must travel with an
+//     api.Error body, which only the httpx helpers guarantee
+//   - any api.ErrorCode conversion or api.Error{Code: ...} literal built
+//     from a string literal must name one of the canonical api.Code*
+//     constants — ad-hoc code strings would bypass the closed set clients
+//     switch on
+//   - httpx.WriteError's status argument, when constant, must be a status
+//     the canonical table maps back to a distinct code; an unmapped status
+//     silently degrades to the catch-all classification
+//
+// The canonical code set is read from the api package's type-checked
+// export data (every declared constant of type api.ErrorCode), so adding a
+// code to api/error.go extends the analyzer automatically.
+var APIErrors = &Analyzer{
+	Name: "apierrors",
+	Doc: "require every HTTP error write to go through httpx/api.Error with " +
+		"a code from the canonical code<->status table",
+	Run: runAPIErrors,
+}
+
+// canonicalStatuses are the HTTP statuses api's code<->status table maps
+// bidirectionally. TestCanonicalStatusesMatchAPI pins this set against the
+// api package, so the two cannot drift silently.
+var canonicalStatuses = map[int64]bool{
+	400: true, // CodeInvalid
+	401: true, // CodeUnauthorized
+	404: true, // CodeNotFound
+	409: true, // CodeConflict
+	413: true, // CodeTooLarge
+	429: true, // CodeOverQuota / CodeQueueFull
+	500: true, // CodeInternal
+	502: true, // CodeBadGateway
+	503: true, // CodeUnavailable
+}
+
+func runAPIErrors(pass *Pass) error {
+	codes := canonicalCodes(pass)
+	inHTTPX := isPkgPathSuffix(pass.Pkg.Path(), "internal/httpx")
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.CallExpr:
+				checkErrorCall(pass, n, codes, inHTTPX)
+			case *ast.CompositeLit:
+				checkErrorLiteral(pass, n, codes)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// canonicalCodes enumerates every declared constant of type api.ErrorCode,
+// looking first at the package under analysis (when it is api itself) and
+// then at its imports.
+func canonicalCodes(pass *Pass) map[string]bool {
+	codes := make(map[string]bool)
+	scan := func(pkg *types.Package) {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named, ok := c.Type().(*types.Named)
+			if !ok || named.Obj().Name() != "ErrorCode" {
+				continue
+			}
+			if p := named.Obj().Pkg(); p != nil && isErrorCodePkg(p.Path()) {
+				codes[constant.StringVal(c.Val())] = true
+			}
+		}
+	}
+	if isErrorCodePkg(pass.Pkg.Path()) {
+		scan(pass.Pkg)
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if isErrorCodePkg(imp.Path()) {
+			scan(imp)
+		}
+	}
+	return codes
+}
+
+// isErrorCodePkg reports whether path is the public api wire-types package.
+func isErrorCodePkg(path string) bool {
+	return isPkgPathSuffix(path, "impsim/imp/api") || path == "api"
+}
+
+// isErrorCodeType reports whether t (or its element) is api.ErrorCode.
+func isErrorCodeType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "ErrorCode" && n.Obj().Pkg() != nil && isErrorCodePkg(n.Obj().Pkg().Path())
+}
+
+func checkErrorCall(pass *Pass, call *ast.CallExpr, codes map[string]bool, inHTTPX bool) {
+	fun := ast.Unparen(call.Fun)
+
+	// Conversion api.ErrorCode("..."): the argument must be canonical.
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() && isErrorCodeType(tv.Type) && len(call.Args) == 1 {
+		checkCodeValue(pass, call.Args[0], codes)
+		return
+	}
+
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	pkgQualified := false
+	if id, ok := sel.X.(*ast.Ident); ok {
+		_, pkgQualified = pass.Info.Uses[id].(*types.PkgName)
+	}
+	switch {
+	case pkgQualified && obj.Pkg().Path() == "net/http" && obj.Name() == "Error":
+		pass.Reportf(call.Pos(),
+			"http.Error writes an untyped text/plain error body; use httpx.WriteError or httpx.WriteAPIError so clients get the api.Error wire shape")
+	case obj.Name() == "WriteHeader" && !inHTTPX:
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && len(call.Args) == 1 {
+			if status, known := intConst(pass, call.Args[0]); known && status >= 400 {
+				pass.Reportf(call.Pos(),
+					"WriteHeader(%d) outside internal/httpx: an error status must carry an api.Error body; use httpx.WriteError or httpx.WriteAPIError", status)
+			}
+		}
+	case isPkgPathSuffix(obj.Pkg().Path(), "internal/httpx") && obj.Name() == "WriteError":
+		if len(call.Args) == 3 {
+			if status, known := intConst(pass, call.Args[1]); known && !canonicalStatuses[status] {
+				pass.Reportf(call.Args[1].Pos(),
+					"httpx.WriteError with status %d, which the canonical api code<->status table does not map; add a code to api/error.go or use a mapped status", status)
+			}
+		}
+	case isErrorCodePkg(obj.Pkg().Path()) && obj.Name() == "Errorf":
+		if len(call.Args) >= 1 {
+			checkCodeValue(pass, call.Args[0], codes)
+		}
+	}
+}
+
+// checkErrorLiteral checks api.Error{Code: ...} composite literals.
+func checkErrorLiteral(pass *Pass, lit *ast.CompositeLit, codes map[string]bool) {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	n, ok := tv.Type.(*types.Named)
+	if !ok || n.Obj().Name() != "Error" || n.Obj().Pkg() == nil || !isErrorCodePkg(n.Obj().Pkg().Path()) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Code" {
+			checkCodeValue(pass, kv.Value, codes)
+		}
+	}
+}
+
+// checkCodeValue requires expr, when it is a compile-time string constant,
+// to hold one of the canonical codes. Named api.Code* constants pass by
+// construction; raw literals must match the closed set.
+func checkCodeValue(pass *Pass, expr ast.Expr, codes map[string]bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	val := constant.StringVal(tv.Value)
+	if val == "" {
+		return // zero value: "no code", classified from the status
+	}
+	if !codes[val] {
+		pass.Reportf(expr.Pos(),
+			"error code %q is not in the canonical api.ErrorCode set; use one of the api.Code* constants (or add the code to api/error.go's table)", val)
+	}
+}
+
+// intConst evaluates expr as a compile-time integer constant.
+func intConst(pass *Pass, expr ast.Expr) (int64, bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(expr)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/constant"
+	"go/types"
+	"testing"
+
+	"github.com/impsim/imp/api"
+)
+
+// TestCanonicalStatusesMatchAPI pins canonicalStatuses against the api
+// package itself, both directions: every declared api.ErrorCode constant
+// must map to a status in the set, and every status in the set must be
+// reachable from some code and round-trip through api.CodeForStatus. If a
+// code is added to api/error.go without touching the analyzer's table (or
+// vice versa), this fails.
+func TestCanonicalStatusesMatchAPI(t *testing.T) {
+	pkgs, err := Load("github.com/impsim/imp/api")
+	if err != nil {
+		t.Fatalf("loading api package: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	scope := pkgs[0].Types.Scope()
+
+	declared := make(map[string]bool) // code string -> seen
+	fromCodes := make(map[int64]bool) // statuses produced by declared codes
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "ErrorCode" {
+			continue
+		}
+		if c.Val().Kind() != constant.String {
+			t.Fatalf("constant %s is not a string: %s", name, c.Val())
+		}
+		code := api.ErrorCode(constant.StringVal(c.Val()))
+		declared[string(code)] = true
+		status := int64(code.HTTPStatus())
+		fromCodes[status] = true
+		if !canonicalStatuses[status] {
+			t.Errorf("api.%s maps to HTTP %d, which canonicalStatuses does not list", name, status)
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatal("found no api.ErrorCode constants; the api package shape changed")
+	}
+
+	for status := range canonicalStatuses {
+		if !fromCodes[status] {
+			t.Errorf("canonicalStatuses lists %d but no declared api.ErrorCode maps to it", status)
+		}
+		code := api.CodeForStatus(int(status))
+		if !declared[string(code)] {
+			t.Errorf("api.CodeForStatus(%d) = %q, which is not a declared constant", status, code)
+		}
+		if got := int64(code.HTTPStatus()); got != status {
+			t.Errorf("status %d round-trips to %d via %q", status, got, code)
+		}
+	}
+}

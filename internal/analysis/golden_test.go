@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/impsim/imp/internal/analysis"
+	"github.com/impsim/imp/internal/analysis/analysistest"
+)
+
+// TestSnapFieldsMirror is the acceptance check for the suite: the fixture
+// mirrors internal/dram's snapshot shape with exactly one field-write
+// deleted from the writer, and the analyzer must fail on that field.
+func TestSnapFieldsMirror(t *testing.T) {
+	analysistest.Run(t, "testdata/snapfields/mirror", "example.com/fix/snapfields/mirror", analysis.SnapFields)
+}
+
+func TestSnapFieldsCases(t *testing.T) {
+	analysistest.Run(t, "testdata/snapfields/cases", "example.com/fix/snapfields/cases", analysis.SnapFields)
+}
+
+// TestNoDeterminismZone loads the fixture under a path ending internal/sim
+// so it falls inside the deterministic zone.
+func TestNoDeterminismZone(t *testing.T) {
+	analysistest.Run(t, "testdata/nodeterminism/zone", "example.com/fix/internal/sim", analysis.NoDeterminism)
+}
+
+// TestNoDeterminismOutside loads the identical constructs outside the zone,
+// where the analyzer must stay silent.
+func TestNoDeterminismOutside(t *testing.T) {
+	analysistest.Run(t, "testdata/nodeterminism/outside", "example.com/fix/outside", analysis.NoDeterminism)
+}
+
+func TestAPIErrorsSrv(t *testing.T) {
+	analysistest.Run(t, "testdata/apierrors/srv", "example.com/fix/srv", analysis.APIErrors)
+}

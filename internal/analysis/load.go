@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run executes one analyzer over the package and returns its findings
+// sorted by position.
+func (p *Package) Run(a *Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     p.Fset,
+		Files:    p.Files,
+		Pkg:      p.Types,
+		Info:     p.Info,
+		Report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// listPackage mirrors the `go list -json` fields the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// Load lists patterns with the go tool and type-checks every matched
+// (non-dependency) package from source, resolving imports through compiled
+// export data, exactly as the compiler would. This is the standalone
+// `impvet ./...` path; under `go vet -vettool` the go command supplies the
+// same information through the vet.cfg protocol instead.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Module"}, patterns...)
+	out, err := runGo(args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard && len(lp.GoFiles) > 0 {
+			cp := lp
+			roots = append(roots, &cp)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, root := range roots {
+		files := make([]string, len(root.GoFiles))
+		for i, f := range root.GoFiles {
+			files[i] = filepath.Join(root.Dir, f)
+		}
+		asts, err := parseFiles(fset, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := typeCheckASTs(imp, root.ImportPath, fset, asts)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir (used by
+// the golden analysistest packages under testdata, which the go tool
+// ignores), declaring it under the given import path. Its imports are
+// resolved by asking the go tool for export data — so fixtures can import
+// the real internal/snap, api and httpx packages and mirror production
+// shapes exactly.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	asts, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	importSet := make(map[string]bool)
+	for _, f := range asts {
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			if path != "" && path != "unsafe" {
+				importSet[path] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"},
+			sortedKeys(importSet)...)
+		out, err := runGo(args...)
+		if err != nil {
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var lp listPackage
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("go list output: %w", err)
+			}
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	imp := newExportImporter(fset, exports, nil)
+	return typeCheckASTs(imp, pkgPath, fset, asts)
+}
+
+// runGo executes the go tool and returns stdout, with stderr folded into
+// the error.
+func runGo(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	return stdout.Bytes(), nil
+}
+
+// exportImporter resolves imports through compiled export data files.
+type exportImporter struct {
+	gc        types.ImporterFrom
+	importMap map[string]string
+}
+
+// newExportImporter builds a types.Importer over a path->export-file map.
+// importMap optionally renames import paths first (the vet.cfg ImportMap);
+// nil means identity.
+func newExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &exportImporter{gc: gc.(types.ImporterFrom), importMap: importMap}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.ImportFrom(path, "", 0)
+}
+
+// parseFiles parses files (with comments — the directives live there).
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	return asts, nil
+}
+
+func typeCheckASTs(imp types.Importer, pkgPath string, fset *token.FileSet, asts []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: asts, Types: pkg, Info: info}, nil
+}

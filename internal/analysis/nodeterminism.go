@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoDeterminism polices the deterministic zone: the simulator core and
+// everything that feeds bytes into results, goldens or checkpoints. The
+// paper's tables are reproducible only because every replay is
+// bit-deterministic, so inside the zone the analyzer forbids
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until
+//   - unseeded randomness: package-level math/rand (and math/rand/v2)
+//     functions, which draw from the shared global source; explicitly
+//     seeded rand.New(rand.NewSource(seed)) instances are fine
+//   - map iteration that feeds an output or hash sink from inside the
+//     loop body (snap.Writer methods, io.Writer implementors, the fmt
+//     print family) — iteration order would leak into bytes; collect keys
+//     and sort first, the way coherence.Directory.Snapshot does
+//   - floating-point accumulation inside a map-range body — float
+//     addition is not associative, so the sum depends on iteration order
+//
+// Legitimate sites opt out with `//imp:wallclock <reason>` (clock/rand) or
+// `//imp:unordered <reason>` (map iteration) on or directly above the line.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "forbid wall-clock reads, unseeded randomness and order-dependent " +
+		"map iteration inside the deterministic simulation zone",
+	Run: runNoDeterminism,
+}
+
+// DeterministicZone lists the package-path suffixes forming the
+// deterministic zone. It is a variable so the golden tests can place their
+// fixture packages inside the zone; impvet always runs with this default.
+var DeterministicZone = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/cache",
+	"internal/cpu",
+	"internal/dram",
+	"internal/noc",
+	"internal/coherence",
+	"internal/prefetch",
+	"internal/mem",
+	"internal/snap",
+	"internal/trace",
+	"internal/trace/tracetest",
+	"internal/workload",
+	"internal/harness",
+	"internal/jobkey",
+}
+
+// inDeterministicZone reports whether the package is policed.
+func inDeterministicZone(path string) bool {
+	for _, suffix := range DeterministicZone {
+		if isPkgPathSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !inDeterministicZone(pass.Pkg.Path()) {
+		return nil
+	}
+	idx := newDirectiveIndex(pass.Fset, pass.Files)
+	reportBareDirectives(pass, idx, DirectiveWallclock, DirectiveUnordered)
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.SelectorExpr:
+				checkNondetCall(pass, idx, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, idx, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondetCall flags uses of wall-clock and global-source rand
+// package functions.
+func checkNondetCall(pass *Pass, idx *directiveIndex, sel *ast.SelectorExpr) {
+	// Only package-qualified references: an identifier bound to a package
+	// name, selecting a package-scope object.
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, ok := pass.Info.Uses[id].(*types.PkgName); !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			if idx.covering(DirectiveWallclock, sel.Pos()) == nil {
+				pass.Reportf(sel.Pos(),
+					"time.%s in the deterministic zone: simulated work may not read the wall clock; derive time from simulated cycles or mark the site //imp:wallclock <reason>",
+					obj.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // method on an explicit *rand.Rand: seeded by construction
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors take an explicit seed
+		}
+		if idx.covering(DirectiveWallclock, sel.Pos()) == nil {
+			pass.Reportf(sel.Pos(),
+				"rand.%s in the deterministic zone draws from the global, unseeded source; use rand.New(rand.NewSource(seed)) so replays are bit-identical, or mark the site //imp:wallclock <reason>",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the loop body
+// feeds an output or hash sink, or accumulates floats.
+func checkMapRange(pass *Pass, idx *directiveIndex, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if idx.covering(DirectiveUnordered, rng.Pos()) != nil {
+		return
+	}
+	ast.Inspect(rng.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if sink := outputSink(pass, n); sink != "" {
+				pass.Reportf(n.Pos(),
+					"map iteration feeds %s: iteration order is random, so these bytes differ between runs; collect keys, sort, then emit (or mark the range //imp:unordered <reason>)",
+					sink)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				if lhsTV, ok := pass.Info.Types[n.Lhs[0]]; ok {
+					if basic, ok := lhsTV.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+						pass.Reportf(n.Pos(),
+							"float accumulation inside map iteration: float addition is not associative, so the result depends on iteration order; sort keys first (or mark the range //imp:unordered <reason>)")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// outputSink classifies a call as byte-emitting: snap.Writer methods, any
+// io.Writer implementor's method call, or the fmt print family. Returns a
+// human label or "".
+func outputSink(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// fmt.Fprintf / fmt.Sprintf / fmt.Print* — package-level.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+			if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+				return "fmt." + obj.Name()
+			}
+			return ""
+		}
+	}
+	// Method call: resolve the receiver type.
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := selection.Recv()
+	if isSnapType(recv, "Writer") {
+		return "a snap.Writer"
+	}
+	// On general io.Writer implementors (hashes, buffers, files), only the
+	// emitting methods count — calling Len() on a buffer is harmless.
+	if strings.HasPrefix(sel.Sel.Name, "Write") || sel.Sel.Name == "Sum" {
+		if types.Implements(recv, ioWriterIface) || types.Implements(types.NewPointer(recv), ioWriterIface) {
+			return "an io.Writer (" + recv.String() + ")"
+		}
+	}
+	return ""
+}
+
+// ioWriterIface is io.Writer built from scratch, so the check does not
+// depend on the package under analysis importing io.
+var ioWriterIface = func() *types.Interface {
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "", types.Universe.Lookup("error").Type()),
+	)
+	params := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "", types.NewSlice(types.Typ[types.Byte])),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig),
+	}, nil)
+	iface.Complete()
+	return iface
+}()

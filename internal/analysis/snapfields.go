@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SnapFields proves snapshot completeness: for every struct that takes part
+// in the internal/snap writer/reader pattern, every field must be referenced
+// by both the snapshot-writing code and the restore-reading code of its
+// package. Adding a field to dram.Channel, sim's tile or cache.Line without
+// wiring it into Snapshot AND Restore is a vet failure at the field's
+// declaration — a build break instead of a silently non-resuming checkpoint.
+//
+// What counts as snapshot code: any function (method or helper) with a
+// *snap.Writer parameter is a writer, any function with a *snap.Reader
+// parameter is a reader; helpers like snapStats/readStats are covered
+// without call-graph analysis. What counts as a checked struct:
+//
+//   - a struct appearing as receiver, parameter or result of a
+//     writer/reader function (the snapshot units: Cache, Mesh, Metrics, ...)
+//   - a struct whose fields are assigned inside a reader function (the
+//     element structs a restore loop rebuilds: Line, Channel, tile, ...)
+//
+// Derived, scratch and configuration-owned fields opt out with
+// `//imp:nosnap <reason>` on the field declaration.
+var SnapFields = &Analyzer{
+	Name: "snapfields",
+	Doc: "check that every persistent field of a snapshotted struct is referenced " +
+		"by both its snapshot writer and its restore reader",
+	Run: runSnapFields,
+}
+
+// fieldRefs records which fields of which local structs a set of functions
+// references, keyed by struct type name then field name.
+type fieldRefs map[string]map[string]bool
+
+func (fr fieldRefs) add(owner *types.Named, field string) {
+	if owner == nil || field == "_" {
+		return
+	}
+	name := owner.Obj().Name()
+	if fr[name] == nil {
+		fr[name] = make(map[string]bool)
+	}
+	fr[name][field] = true
+}
+
+func (fr fieldRefs) has(owner, field string) bool { return fr[owner][field] }
+
+func runSnapFields(pass *Pass) error {
+	if isPkgPathSuffix(pass.Pkg.Path(), "internal/snap") {
+		return nil // the codec itself, not a snapshot client
+	}
+	idx := newDirectiveIndex(pass.Fset, pass.Files)
+	reportBareDirectives(pass, idx, DirectiveNoSnap)
+
+	var writers, readers []*ast.FuncDecl
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			switch {
+			case hasSnapParam(pass, fn, "Writer"):
+				writers = append(writers, fn)
+			case hasSnapParam(pass, fn, "Reader"):
+				readers = append(readers, fn)
+			}
+		}
+	}
+	if len(writers) == 0 && len(readers) == 0 {
+		return nil
+	}
+
+	writerRefs, _ := collectFieldRefs(pass, writers)
+	readerRefs, readerWrites := collectFieldRefs(pass, readers)
+	writerUnits := snapshotUnits(pass, writers)
+	readerUnits := snapshotUnits(pass, readers)
+
+	// Every struct to check, mapped to the position its report anchors to
+	// when the counterpart function is missing entirely.
+	checked := make(map[string]*types.Named)
+	for name, n := range writerUnits {
+		checked[name] = n
+	}
+	for name, n := range readerUnits {
+		checked[name] = n
+	}
+	for _, n := range readerWrites {
+		checked[n.Obj().Name()] = n
+	}
+
+	for _, name := range sortedKeys(checked) {
+		named := checked[name]
+		st := named.Underlying().(*types.Struct)
+		_, isWriterUnit := writerUnits[name]
+		_, isReaderUnit := readerUnits[name]
+		if isWriterUnit && !isReaderUnit && len(readerRefs[name]) == 0 {
+			pass.Reportf(named.Obj().Pos(),
+				"%s has a snapshot writer but no restore reader referencing it; add the paired Restore", name)
+			continue
+		}
+		if isReaderUnit && !isWriterUnit && len(writerRefs[name]) == 0 {
+			pass.Reportf(named.Obj().Pos(),
+				"%s has a restore reader but no snapshot writer referencing it; add the paired Snapshot", name)
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if field.Name() == "_" {
+				continue
+			}
+			if idx.covering(DirectiveNoSnap, field.Pos()) != nil {
+				continue
+			}
+			inW := writerRefs.has(name, field.Name())
+			inR := readerRefs.has(name, field.Name())
+			switch {
+			case inW && inR:
+			case !inW && !inR:
+				pass.Reportf(field.Pos(),
+					"field %s.%s is not referenced by the snapshot writer or the restore reader; wire it into both or mark it //imp:nosnap <reason>",
+					name, field.Name())
+			case inW:
+				pass.Reportf(field.Pos(),
+					"field %s.%s is written by the snapshot writer but never restored; wire it into the restore reader or mark it //imp:nosnap <reason>",
+					name, field.Name())
+			default:
+				pass.Reportf(field.Pos(),
+					"field %s.%s is restored but never written by the snapshot writer; wire it into the snapshot writer or mark it //imp:nosnap <reason>",
+					name, field.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// hasSnapParam reports whether fn takes a parameter of type *snap.<name>.
+func hasSnapParam(pass *Pass, fn *ast.FuncDecl, name string) bool {
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSnapType(sig.Params().At(i).Type(), name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSnapType reports whether t is *snap.Writer / *snap.Reader.
+func isSnapType(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil &&
+		isPkgPathSuffix(obj.Pkg().Path(), "internal/snap")
+}
+
+// snapshotUnits returns the package-local named structs that appear as
+// receiver, parameter or result of the given snapshot functions — the
+// top-level units the writer/reader pairing is checked on.
+func snapshotUnits(pass *Pass, fns []*ast.FuncDecl) map[string]*types.Named {
+	units := make(map[string]*types.Named)
+	add := func(t types.Type) {
+		if n := namedStruct(t, pass.Pkg); n != nil {
+			units[n.Obj().Name()] = n
+		}
+	}
+	for _, fn := range fns {
+		obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			add(recv.Type())
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			add(sig.Params().At(i).Type())
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			add(sig.Results().At(i).Type())
+		}
+	}
+	return units
+}
+
+// collectFieldRefs walks the given function bodies and records every
+// reference to a field of a package-local struct: selector chains
+// (including promoted fields, attributed level by level) and composite
+// literals (keyed literals reference their keys, positional literals every
+// field). The second result maps the structs whose fields are assignment
+// or composite-literal targets — the element structs a restore loop
+// rebuilds in place.
+func collectFieldRefs(pass *Pass, fns []*ast.FuncDecl) (fieldRefs, map[string]*types.Named) {
+	refs := make(fieldRefs)
+	written := make(map[string]*types.Named)
+	markWritten := func(n *types.Named) {
+		if n != nil {
+			written[n.Obj().Name()] = n
+		}
+	}
+	for _, fn := range fns {
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.SelectorExpr:
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				recordSelectionChain(pass, refs, sel)
+			case *ast.CompositeLit:
+				tv, ok := pass.Info.Types[n]
+				if !ok {
+					return true
+				}
+				named := namedStruct(tv.Type, pass.Pkg)
+				if named == nil {
+					return true
+				}
+				markWritten(named)
+				st := named.Underlying().(*types.Struct)
+				if len(n.Elts) == 0 {
+					return true
+				}
+				if _, keyed := n.Elts[0].(*ast.KeyValueExpr); keyed {
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								refs.add(named, id.Name)
+							}
+						}
+					}
+				} else {
+					for i := 0; i < st.NumFields(); i++ {
+						refs.add(named, st.Field(i).Name())
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if owner := selectorOwner(pass, lhs); owner != nil {
+						markWritten(owner)
+					}
+				}
+			case *ast.IncDecStmt:
+				if owner := selectorOwner(pass, n.X); owner != nil {
+					markWritten(owner)
+				}
+			}
+			return true
+		})
+	}
+	return refs, written
+}
+
+// recordSelectionChain attributes x.a.b style selections to each owning
+// struct along the embedding/index path, so `m.Fetch.N` marks both
+// Metrics.Fetch and FetchStats.N, and promoted fields credit the embedded
+// struct they live in.
+func recordSelectionChain(pass *Pass, refs fieldRefs, sel *types.Selection) {
+	t := sel.Recv()
+	for _, fieldIdx := range sel.Index() {
+		owner := namedStruct(t, pass.Pkg)
+		st, ok := derefStruct(t)
+		if !ok {
+			return
+		}
+		field := st.Field(fieldIdx)
+		if owner != nil {
+			refs.add(owner, field.Name())
+		}
+		t = field.Type()
+	}
+}
+
+// selectorOwner returns the package-local struct owning the field that
+// expr (a selector, possibly parenthesized) ultimately selects, or nil.
+func selectorOwner(pass *Pass, expr ast.Expr) *types.Named {
+	expr = ast.Unparen(expr)
+	se, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := pass.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	t := sel.Recv()
+	var owner *types.Named
+	for _, fieldIdx := range sel.Index() {
+		st, ok := derefStruct(t)
+		if !ok {
+			return nil
+		}
+		owner = namedStruct(t, pass.Pkg)
+		t = st.Field(fieldIdx).Type()
+	}
+	return owner
+}
+
+// derefStruct unwraps t (through one pointer) to its struct underlying.
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}

@@ -1,0 +1,38 @@
+// Package srv is the apierrors golden matrix: every way a handler can
+// write an HTTP error, canonical and not.
+package srv
+
+import (
+	"errors"
+	"net/http"
+
+	"github.com/impsim/imp/api"
+	"github.com/impsim/imp/internal/httpx"
+)
+
+func untyped(w http.ResponseWriter) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error writes an untyped text/plain error body`
+}
+
+func bareStatus(w http.ResponseWriter) {
+	w.WriteHeader(400)                  // want `WriteHeader\(400\) outside internal/httpx`
+	w.WriteHeader(http.StatusNoContent) // success statuses carry no body contract
+}
+
+func viaHTTPX(w http.ResponseWriter) {
+	err := errors.New("boom")
+	httpx.WriteError(w, 418, err) // want `httpx.WriteError with status 418`
+	httpx.WriteError(w, http.StatusNotFound, err)
+	httpx.WriteAPIError(w, &api.Error{Code: api.CodeUnavailable, Message: "draining"})
+}
+
+func codes() {
+	_ = &api.Error{Code: "bogus_code"} // want `error code "bogus_code" is not in the canonical api.ErrorCode set`
+	_ = api.ErrorCode("nope")          // want `error code "nope" is not in the canonical api.ErrorCode set`
+	_ = api.Errorf("also_bad", "x")    // want `error code "also_bad" is not in the canonical api.ErrorCode set`
+
+	// The canonical spellings all pass.
+	_ = &api.Error{Code: api.CodeNotFound}
+	_ = api.Errorf(api.CodeInvalid, "bad %s", "arg")
+	_ = api.CodeForStatus(502)
+}

@@ -1,0 +1,21 @@
+// Package outside holds the same constructs as the zone fixture but is
+// loaded under a package path outside the deterministic zone, where none
+// of them is a finding.
+package outside
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func all(m map[string]int) string {
+	start := time.Now()
+	_ = time.Since(start)
+	_ = rand.Intn(10)
+	var s string
+	for k := range m {
+		s += fmt.Sprintf("%s,", k)
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+// Package zone is the nodeterminism golden matrix. The golden test loads
+// it under a package path ending internal/sim, placing it inside the
+// deterministic zone.
+package zone
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+// clocks exercises the wall-clock rules.
+func clocks() time.Duration {
+	start := time.Now()    // want `time.Now in the deterministic zone`
+	d := time.Since(start) // want `time.Since in the deterministic zone`
+
+	//imp:wallclock progress logging only, never feeds results
+	exempt := time.Now()
+	_ = exempt
+
+	//imp:wallclock // want `//imp:wallclock needs a reason`
+	bare := time.Now()
+	_ = bare
+
+	return d
+}
+
+// randomness exercises the global-source rand rules.
+func randomness() int {
+	n := rand.Intn(10) // want `rand.Intn in the deterministic zone draws from the global, unseeded source`
+
+	// Explicitly seeded generators are fine: constructors and methods on a
+	// *rand.Rand never touch the global source.
+	rng := rand.New(rand.NewSource(42))
+	n += rng.Intn(10)
+	return n
+}
+
+// mapOutput exercises the ordered-emission rules.
+func mapOutput(w *snap.Writer, m map[uint64]int64) {
+	for k, v := range m {
+		w.U64(k) // want `map iteration feeds a snap.Writer`
+		w.I64(v) // want `map iteration feeds a snap.Writer`
+	}
+
+	// The blessed shape: collect keys, sort, then emit.
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		w.U64(k)
+		w.I64(m[k])
+	}
+}
+
+// mapFormat feeds the fmt print family from a map range.
+func mapFormat(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += fmt.Sprintf("%s,", k) // want `map iteration feeds fmt.Sprintf`
+	}
+
+	//imp:unordered building a set, order never observable
+	for k := range m {
+		_ = len(k)
+	}
+	return s
+}
+
+// mapAccumulate exercises the float-accumulation rule.
+func mapAccumulate(m map[string]float64) (float64, int) {
+	var sum float64
+	var count int
+	for _, v := range m {
+		sum += v // want `float accumulation inside map iteration`
+		count++  // integer updates are associative: fine
+	}
+	return sum, count
+}
+
+// mapHash feeds an io.Writer implementor from a map range.
+func mapHash(m map[uint32]bool) []byte {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteByte(byte(k)) // want `map iteration feeds an io.Writer`
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,123 @@
+// Package cases is the snapfields golden matrix: one struct per rule.
+package cases
+
+import "github.com/impsim/imp/internal/snap"
+
+// Pair is complete: every field in both writer and reader.
+type Pair struct {
+	a uint64
+	b int64
+}
+
+func (p *Pair) Snapshot(w *snap.Writer) {
+	w.U64(p.a)
+	w.I64(p.b)
+}
+
+func (p *Pair) Restore(r *snap.Reader) error {
+	p.a = r.U64()
+	p.b = r.I64()
+	return r.Err()
+}
+
+// Dropped snapshots a field the reader never restores.
+type Dropped struct {
+	kept uint64
+	lost uint64 // want `field Dropped.lost is written by the snapshot writer but never restored`
+}
+
+func (d *Dropped) Snapshot(w *snap.Writer) {
+	w.U64(d.kept)
+	w.U64(d.lost)
+}
+
+func (d *Dropped) Restore(r *snap.Reader) error {
+	d.kept = r.U64()
+	return r.Err()
+}
+
+// Neither has a field no snapshot code touches at all.
+type Neither struct {
+	live uint64
+	dead uint64 // want `field Neither.dead is not referenced by the snapshot writer or the restore reader`
+}
+
+func (n *Neither) Snapshot(w *snap.Writer) { w.U64(n.live) }
+
+func (n *Neither) Restore(r *snap.Reader) error {
+	n.live = r.U64()
+	return r.Err()
+}
+
+// Exempt uses the escape hatch: a reasoned //imp:nosnap passes, a bare one
+// is itself a finding.
+type Exempt struct {
+	live uint64
+	//imp:nosnap derived at construction
+	derived uint64
+	//imp:nosnap // want `//imp:nosnap needs a reason`
+	bare uint64
+}
+
+func (e *Exempt) Snapshot(w *snap.Writer) { w.U64(e.live) }
+
+func (e *Exempt) Restore(r *snap.Reader) error {
+	e.live = r.U64()
+	return r.Err()
+}
+
+// Orphan has a snapshot writer and no restore reader anywhere.
+type Orphan struct { // want `Orphan has a snapshot writer but no restore reader referencing it`
+	x uint64
+}
+
+func (o *Orphan) Snapshot(w *snap.Writer) { w.U64(o.x) }
+
+// ReadOnly has a restore reader and no snapshot writer anywhere.
+type ReadOnly struct { // want `ReadOnly has a restore reader but no snapshot writer referencing it`
+	x uint64
+}
+
+func (q *ReadOnly) Restore(r *snap.Reader) error {
+	q.x = r.U64()
+	return r.Err()
+}
+
+// Lit is rebuilt by a keyed composite literal in a helper reader; both
+// directions are helper functions, not methods.
+type Lit struct {
+	x uint64
+	y int64
+}
+
+func snapLit(w *snap.Writer, l *Lit) {
+	w.U64(l.x)
+	w.I64(l.y)
+}
+
+func readLit(r *snap.Reader) Lit {
+	return Lit{x: r.U64(), y: r.I64()}
+}
+
+// Outer embeds Inner; promoted selectors must credit both the embedded
+// field and the inner struct's own field.
+type Inner struct{ n int64 }
+
+type Outer struct {
+	Inner
+	m int64
+}
+
+func (o *Outer) Snapshot(w *snap.Writer) {
+	w.I64(o.n)
+	w.I64(o.m)
+}
+
+func (o *Outer) Restore(r *snap.Reader) error {
+	o.n = r.I64()
+	o.m = r.I64()
+	return r.Err()
+}
+
+var _ = snapLit
+var _ = readLit

@@ -1,0 +1,75 @@
+// Package mirror reproduces internal/dram's snapshot shape — a model
+// struct holding per-channel timing state, a stats struct packed through
+// snapStats/readStats helpers, and a config field exempted as derived —
+// with exactly one field-write deleted from the writer. The expectation on
+// Channel.activated is the acceptance check for the suite: deleting a
+// single field-write from a real subsystem's snapshot writer must fail vet.
+package mirror
+
+import (
+	"fmt"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+// Stats mirrors dram.Stats: counters packed by helper functions rather
+// than methods, which snapfields must still attribute.
+type Stats struct {
+	Accesses uint64
+	RowHits  uint64
+}
+
+// Channel mirrors dram's per-bank timing state.
+type Channel struct {
+	busyUntil int64
+	openRow   int64
+	activated int64 // want `field Channel.activated is restored but never written by the snapshot writer`
+}
+
+// Model mirrors dram.DDR3: config plus channel array plus stats.
+type Model struct {
+	//imp:nosnap configuration, fixed at construction
+	cfg      int
+	channels []Channel
+	stats    Stats
+}
+
+// Snapshot appends the model's state. The activated write has been
+// deleted, which must be a vet failure on the field declaration.
+func (m *Model) Snapshot(w *snap.Writer) {
+	snapStats(w, m.stats)
+	w.Int(len(m.channels))
+	for i := range m.channels {
+		c := &m.channels[i]
+		w.I64(c.busyUntil)
+		w.I64(c.openRow)
+		// deleted: w.I64(c.activated)
+	}
+}
+
+// Restore replaces the model's state with one written by Snapshot.
+func (m *Model) Restore(r *snap.Reader) error {
+	m.stats = readStats(r)
+	if n := r.Int(); n != len(m.channels) {
+		if r.Err() != nil {
+			return r.Err()
+		}
+		return fmt.Errorf("mirror: snapshot has %d channels, model has %d", n, len(m.channels))
+	}
+	for i := range m.channels {
+		c := &m.channels[i]
+		c.busyUntil = r.I64()
+		c.openRow = r.I64()
+		c.activated = r.I64()
+	}
+	return r.Err()
+}
+
+func snapStats(w *snap.Writer, s Stats) {
+	w.U64(s.Accesses)
+	w.U64(s.RowHits)
+}
+
+func readStats(r *snap.Reader) Stats {
+	return Stats{Accesses: r.U64(), RowHits: r.U64()}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// VetConfig mirrors the vet.cfg JSON the go command hands a -vettool driver
+// for each package unit: the file set, the import-path remapping for test
+// variants, and the compiled export data of every dependency. Unknown
+// fields are ignored, so additions to the protocol do not break impvet.
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+	NonGoFiles []string
+	// ImportMap renames source-level import paths to the canonical package
+	// paths of this build (test variants, vendoring).
+	ImportMap map[string]string
+	// PackageFile maps canonical package paths to compiled export data.
+	PackageFile map[string]string
+	// VetxOnly marks a dependency-only run: the go command wants this
+	// package's analysis facts for its dependents, not its diagnostics.
+	// impvet's analyzers are fact-free, so these runs are a no-op.
+	VetxOnly   bool
+	VetxOutput string
+	// SucceedOnTypecheckFailure is set for packages the go command knows
+	// may not typecheck from source (cgo corners); vet must not fail them.
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg executes the suite over one vet.cfg unit, the protocol `go vet
+// -vettool=impvet` speaks: parse the unit's files, type-check them against
+// the export data the go command already built, run every analyzer, and
+// leave the facts file the go command expects to cache. The returned fset
+// positions the diagnostics.
+func RunVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("%s: parsing vet config: %w", cfgPath, err)
+	}
+	// The go command caches the facts file and feeds it to dependent
+	// units; impvet has no facts, but the file must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil, nil
+	}
+	fset := token.NewFileSet()
+	asts, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, nil
+		}
+		return nil, fset, err
+	}
+	// Test variants are named "pkg [pkg.test]"; the analyzers' zone and
+	// package checks want the underlying path.
+	pkgPath := cfg.ImportPath
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typeCheckASTs(imp, pkgPath, fset, asts)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, fset, nil
+		}
+		return nil, fset, err
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		ds, err := pkg.Run(a)
+		if err != nil {
+			return nil, fset, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, fset, nil
+}

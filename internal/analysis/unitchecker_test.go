@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stdExports asks the go command for the export data of pkgs and their
+// dependencies, building the PackageFile map a vet.cfg would carry.
+func stdExports(t *testing.T, pkgs ...string) map[string]string {
+	t.Helper()
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, pkgs...)
+	out, err := runGo(args...)
+	if err != nil {
+		t.Fatalf("listing std exports: %v", err)
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+// writeCfg marshals cfg into dir/vet.cfg and returns the path.
+func writeCfg(t *testing.T, dir string, cfg VetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunVetCfg drives the unit protocol end to end: a zone package with a
+// wall-clock read, type-checked against real export data, must produce the
+// time.Now diagnostic and leave the facts file the go command caches.
+func TestRunVetCfg(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "zone.go")
+	const body = `package simzone
+
+import "time"
+
+func tick() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(src, []byte(body), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "facts.vetx")
+	cfgPath := writeCfg(t, dir, VetConfig{
+		// A test-variant ImportPath: the suffix must be trimmed before the
+		// zone check, or the package would not match internal/sim.
+		ImportPath:  "example.com/unit/internal/sim [example.com/unit/internal/sim.test]",
+		GoFiles:     []string{src},
+		ImportMap:   map[string]string{"time": "time"},
+		PackageFile: stdExports(t, "time"),
+		VetxOutput:  vetx,
+	})
+
+	diags, fset, err := RunVetCfg(cfgPath, Analyzers())
+	if err != nil {
+		t.Fatalf("RunVetCfg: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "time.Now") {
+		t.Fatalf("got diagnostics %v, want exactly one time.Now finding", diags)
+	}
+	if posn := fset.Position(diags[0].Pos); filepath.Base(posn.Filename) != "zone.go" || posn.Line != 5 {
+		t.Errorf("diagnostic at %v, want zone.go:5", posn)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+// TestRunVetCfgVetxOnly checks the dependency-only mode: no analysis, but
+// the facts file must still appear or the go command errors out.
+func TestRunVetCfgVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "facts.vetx")
+	cfgPath := writeCfg(t, dir, VetConfig{
+		ImportPath: "example.com/unit/internal/sim",
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+	diags, _, err := RunVetCfg(cfgPath, Analyzers())
+	if err != nil {
+		t.Fatalf("RunVetCfg: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("VetxOnly run produced diagnostics: %v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+// TestRunVetCfgTypecheckFailure checks both sides of the
+// SucceedOnTypecheckFailure switch on a package that cannot compile.
+func TestRunVetCfgTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "broken.go")
+	if err := os.WriteFile(src, []byte("package broken\n\nvar x undefined\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := VetConfig{
+		ImportPath: "example.com/unit/internal/sim",
+		GoFiles:    []string{src},
+	}
+
+	cfgPath := writeCfg(t, dir, cfg)
+	if _, _, err := RunVetCfg(cfgPath, Analyzers()); err == nil {
+		t.Error("broken package type-checked without error")
+	}
+
+	cfg.SucceedOnTypecheckFailure = true
+	cfgPath = writeCfg(t, dir, cfg)
+	diags, _, err := RunVetCfg(cfgPath, Analyzers())
+	if err != nil || len(diags) != 0 {
+		t.Errorf("SucceedOnTypecheckFailure run: diags=%v err=%v, want none", diags, err)
+	}
+}
+
+// TestRunVetCfgBadConfig checks the two malformed-input paths.
+func TestRunVetCfgBadConfig(t *testing.T) {
+	if _, _, err := RunVetCfg(filepath.Join(t.TempDir(), "absent.cfg"), Analyzers()); err == nil {
+		t.Error("missing config file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunVetCfg(path, Analyzers()); err == nil {
+		t.Error("malformed config accepted")
+	}
+}

@@ -150,11 +150,15 @@ const tagFree = ^uint64(0)
 // way scan in find is the hottest loop of the whole simulator, and scanning
 // packed uint64 tags touches one cacheline per set instead of one per way.
 type Cache struct {
-	cfg      Config
-	ways     int
-	tags     []uint64 // numSets*ways; tagFree when the frame is Invalid
-	lines    []Line   // parallel to tags
-	setMask  uint64
+	//imp:nosnap geometry, reconstructed from Config at build
+	cfg Config
+	//imp:nosnap geometry, reconstructed from Config at build
+	ways  int
+	tags  []uint64 // numSets*ways; tagFree when the frame is Invalid
+	lines []Line   // parallel to tags
+	//imp:nosnap geometry, reconstructed from Config at build
+	setMask uint64
+	//imp:nosnap geometry, reconstructed from Config at build
 	fullMask SectorMask
 	clock    uint64
 }

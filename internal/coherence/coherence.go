@@ -92,16 +92,25 @@ const (
 // Directory tracks every line resident in one (or all) L2 slice(s). Entries
 // are created on first use and dropped on L2 eviction.
 type Directory struct {
-	k        int
+	//imp:nosnap configuration, fixed at construction
+	k int
+	//imp:nosnap configuration, fixed at construction
 	numCores int
 	stats    Stats
 
-	// Open-addressed table: linear probing with tombstone deletion.
-	keys  []uint64
-	vals  []Entry
+	// Open-addressed table: linear probing with tombstone deletion. The
+	// snapshot encodes live entries (sorted, via the Entry accessors); the
+	// table layout itself is rebuilt tombstone-free by initTable on restore.
+	//imp:nosnap table layout, rebuilt by initTable on restore
+	keys []uint64
+	//imp:nosnap table layout, rebuilt by initTable on restore
+	vals []Entry
+	//imp:nosnap table layout, rebuilt by initTable on restore
 	state []uint8
-	live  int // slotFull count
-	dead  int // slotTomb count
+	//imp:nosnap table layout, rebuilt by initTable on restore
+	live int // slotFull count
+	//imp:nosnap table layout, rebuilt by initTable on restore
+	dead int // slotTomb count
 }
 
 const initialSlots = 256

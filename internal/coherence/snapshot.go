@@ -52,7 +52,7 @@ func (d *Directory) Restore(r *snap.Reader) error {
 		Broadcasts:        r.U64(),
 		Downgrades:        r.U64(),
 	}
-	n := r.Int()
+	n := r.Count(6) // key + state + ns + overflow + owner + count
 	if r.Err() != nil {
 		return r.Err()
 	}

@@ -18,6 +18,7 @@ import (
 // update points are identical, only the storage location differs (and the
 // storage-cost model still charges the GP for it, §6.4.2).
 type GranularityPredictor struct {
+	//imp:nosnap configuration, fixed at construction
 	p       Params
 	entries []gpEntry
 	tracked map[uint64]int // sampled lineID -> PT pattern index

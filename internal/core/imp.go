@@ -100,14 +100,17 @@ type Stats struct {
 
 // IMP is one per-L1 prefetcher instance.
 type IMP struct {
-	p      Params
+	//imp:nosnap configuration, fixed at construction (restore cross-checks geometry)
+	p Params
+	//imp:nosnap value tap, reattached over the equivalent address space at build
 	memory WordReader
 	pt     []ptEntry
 	ipd    []ipdEntry
 	gp     *GranularityPredictor
 	clock  uint64
 	stats  Stats
-	reqs   []prefetch.Request // the in-flight Observe output (caller's slice)
+	//imp:nosnap scratch, dead outside one Observe call
+	reqs []prefetch.Request // the in-flight Observe output (caller's slice)
 }
 
 // New builds an IMP instance reading index values through memory.

@@ -248,7 +248,7 @@ func (g *GranularityPredictor) restore(r *snap.Reader) error {
 			e.samples[j] = r.U64()
 		}
 	}
-	nt := r.Int()
+	nt := r.Count(2) // line + count, one varint byte each at minimum
 	if r.Err() != nil {
 		return r.Err()
 	}

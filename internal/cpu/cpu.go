@@ -34,7 +34,9 @@ type pendingLoad struct {
 // Pipeline tracks outstanding loads for one core. The zero value is not
 // usable; construct with New.
 type Pipeline struct {
-	kind    Kind
+	//imp:nosnap configuration, fixed at construction
+	kind Kind
+	//imp:nosnap configuration, fixed at construction
 	window  uint64
 	pending []pendingLoad // FIFO of [head:len], oldest first
 	// head indexes the oldest live entry; popping advances it instead of

@@ -19,7 +19,7 @@ func (p *Pipeline) Snapshot(w *snap.Writer) {
 // Restore overwrites the pipeline's state with one written by Snapshot. The
 // pipeline must have been built with the same kind and window.
 func (p *Pipeline) Restore(r *snap.Reader) error {
-	n := r.Int()
+	n := r.Count(2) // instr + complete, one varint byte each at minimum
 	if r.Err() != nil {
 		return r.Err()
 	}

@@ -100,6 +100,7 @@ type bank struct {
 
 // DDR3 is the bank-level timing model.
 type DDR3 struct {
+	//imp:nosnap configuration, fixed at construction
 	cfg   DDR3Config
 	banks [][]bank // [mc][bank]
 	bus   []int64  // data bus busy-until per MC
@@ -239,6 +240,7 @@ func (r *mcRing) reserve(t int64, bytes, capPerEpoch float64) int64 {
 
 // Simple is the fixed latency + bandwidth model.
 type Simple struct {
+	//imp:nosnap configuration, fixed at construction
 	cfg   SimpleConfig
 	mcs   []mcRing
 	stats Stats

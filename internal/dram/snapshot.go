@@ -53,7 +53,7 @@ func (s *Simple) Restore(r *snap.Reader) error {
 	for i := range s.mcs {
 		ring := &s.mcs[i]
 		*ring = mcRing{hint: r.I64()}
-		used := r.Int()
+		used := r.Count(10) // slot + epoch varints + fixed 8-byte float
 		if r.Err() != nil {
 			return r.Err()
 		}

@@ -226,6 +226,7 @@ func SweepAll[R any](ctx context.Context, points []Point[R], opt Options, onEven
 						continue
 					}
 				}
+				//imp:wallclock progress-event timing only; Elapsed never feeds results or keys
 				start := time.Now()
 				if g := prefixes[points[i].PrefixKey]; g != nil {
 					g.once.Do(func() { g.err = runPrefix(ctx, points[i].RunPrefix) })
@@ -234,6 +235,7 @@ func SweepAll[R any](ctx context.Context, points []Point[R], opt Options, onEven
 					// missing prefix by doing the work cold.
 				}
 				res, err := runPoint(ctx, points[i])
+				//imp:wallclock progress-event timing only; Elapsed never feeds results or keys
 				elapsed := time.Since(start)
 				if opt.Gate != nil {
 					opt.Gate.Release()

@@ -111,6 +111,7 @@ func (l *link) reserve(t int64, flits int) int64 {
 
 // Mesh is the interconnect state. Not safe for concurrent use.
 type Mesh struct {
+	//imp:nosnap configuration, fixed at construction
 	cfg   Config
 	links []link // per (tile, direction)
 

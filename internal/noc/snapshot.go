@@ -52,7 +52,7 @@ func (m *Mesh) Restore(r *snap.Reader) error {
 	for i := range m.links {
 		l := &m.links[i]
 		*l = link{hint: r.I64()}
-		used := r.Int()
+		used := r.Count(3) // slot + epoch + used, one varint byte each at minimum
 		if r.Err() != nil {
 			return r.Err()
 		}

@@ -40,6 +40,7 @@ type ghbIndex struct {
 // so a reasonably sized GHB finds no repeats and adds no coverage on these
 // workloads — reproduced by BenchmarkGHBComparison.
 type GHB struct {
+	//imp:nosnap configuration, fixed at construction
 	cfg    GHBConfig
 	buf    []ghbEntry
 	head   int // next write position
@@ -47,6 +48,7 @@ type GHB struct {
 	index  []ghbIndex
 	clock  uint64
 	// chainBuf is reused across Observe calls (one chain walk per miss).
+	//imp:nosnap scratch, dead outside one Observe call
 	chainBuf []uint64
 }
 

@@ -90,6 +90,7 @@ type streamEntry struct {
 // granularity. It captures the sequential scans of index arrays (the B[i]
 // side) but, as the paper shows, none of the indirect accesses.
 type Stream struct {
+	//imp:nosnap configuration, fixed at construction
 	cfg     StreamConfig
 	entries []streamEntry
 	clock   uint64

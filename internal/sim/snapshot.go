@@ -280,12 +280,9 @@ func (s *system) restore(r *snap.Reader) error {
 		t.waiting = r.Bool()
 		t.arrival = r.I64()
 		t.perfAhead = r.Int()
-		n := r.Int()
+		n := r.Count(4) // line + complete + mask + state
 		if r.Err() != nil {
 			return r.Err()
-		}
-		if n < 0 {
-			return fmt.Errorf("sim: snapshot has %d in-flight prefetches", n)
 		}
 		t.inflight = t.inflight[:0]
 		for i := 0; i < n; i++ {
@@ -325,12 +322,9 @@ func (s *system) restore(r *snap.Reader) error {
 		}
 	}
 	s.started = r.Bool()
-	hn := r.Int()
+	hn := r.Count(1) // one varint tile id per entry
 	if r.Err() != nil {
 		return r.Err()
-	}
-	if hn < 0 {
-		return fmt.Errorf("sim: snapshot heap has %d entries", hn)
 	}
 	s.h = make([]*tile, 0, max(hn, len(s.tiles)))
 	for i := 0; i < hn; i++ {

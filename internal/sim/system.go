@@ -20,15 +20,19 @@ import (
 const batchRecords = 64
 
 type tile struct {
-	id      int
-	l1      *cache.Cache
-	pf      prefetch.Prefetcher
-	imp     *core.IMP // non-nil when pf is IMP
-	pipe    *cpu.Pipeline
-	stream  trace.RecordStream
-	memr    *mem.CachedReader // per-tile value taps (region-cached reads)
-	time    int64
-	pos     int // records consumed from stream (stream cursor position)
+	id int
+	l1 *cache.Cache
+	pf prefetch.Prefetcher
+	//imp:nosnap alias of pf set at build; the IMP's state snapshots through pf
+	imp  *core.IMP // non-nil when pf is IMP
+	pipe *cpu.Pipeline
+	//imp:nosnap restore reattaches a fresh stream and repositions it to pos
+	stream trace.RecordStream
+	//imp:nosnap stateless region-cached read tap, rebuilt at construction
+	memr *mem.CachedReader // per-tile value taps (region-cached reads)
+	time int64
+	pos  int // records consumed from stream (stream cursor position)
+	//imp:nosnap scratch inside one step call; consume zeroes it before any yield
 	winOff  int // records of the current window processed, incl. the current one
 	instr   uint64
 	done    bool
@@ -89,29 +93,37 @@ func (t *tile) coversInflight(line uint64, mask cache.SectorMask) (int64, bool) 
 }
 
 type system struct {
-	cfg   Config
-	src   trace.Source
+	cfg Config
+	//imp:nosnap the trace is not embedded in snapshots; Restore reattaches an equivalent Source
+	src trace.Source
+	//imp:nosnap derived from the trace's region table at build
 	space *mem.Space
-	spin  bool
+	//imp:nosnap derived from the source's SpinBarrierWait at build
+	spin bool
 	// valueTap is set when the prefetcher consumes loaded values (IMP's
 	// index taps); the stream and GHB prefetchers never read Access.Value,
 	// so the memory-image read is skipped for them.
+	//imp:nosnap derived from the prefetcher kind at build
 	valueTap bool
 	mesh     *noc.Mesh
 	mem      dram.Model
-	mcOf     []int // mc index -> tile id
-	l2       []*cache.Cache
-	dir      []*coherence.Directory
-	tiles    []*tile
-	h        []*tile // typed min-heap on (time, id)
-	met      Metrics
+	//imp:nosnap derived from cfg at build
+	mcOf  []int // mc index -> tile id
+	l2    []*cache.Cache
+	dir   []*coherence.Directory
+	tiles []*tile
+	h     []*tile // typed min-heap on (time, id)
+	met   Metrics
 
 	// Per-access scratch buffers, reused across the whole run: the tick
 	// loop is single-threaded per system, and per-access slice allocations
 	// dominated the simulator's profile before these existed.
-	reqScratch   []prefetch.Request
+	//imp:nosnap scratch, dead outside one access
+	reqScratch []prefetch.Request
+	//imp:nosnap scratch, dead outside one access
 	complScratch []int64
 
+	//imp:nosnap Snapshot refuses a system with a pending stream error
 	streamErr error // first record-stream decode failure
 
 	// started records that the scheduling heap has been seeded; resumed

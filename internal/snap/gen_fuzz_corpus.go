@@ -1,0 +1,59 @@
+//go:build ignore
+
+// gen_fuzz_corpus regenerates the committed seed corpus for FuzzSnapReader
+// (fuzz_test.go):
+//
+//	cd internal/snap && go run gen_fuzz_corpus.go
+//
+// The seeds pair a schedule byte (which decode calls run, see fuzz_test.go)
+// with a stream exercising every encoder, plus truncations and bit flips so
+// the fuzzer starts inside the error paths too.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/impsim/imp/internal/snap"
+)
+
+func main() {
+	w := snap.NewWriter(0)
+	w.U64(1 << 40)
+	w.I64(-5)
+	w.Int(7)
+	w.U8(0xAB)
+	w.Bool(true)
+	w.F64(3.5)
+	w.Bytes([]byte("payload"))
+	valid := w.Data()
+
+	seeds := map[string][]byte{
+		"seed-valid":     append([]byte{0}, valid...),
+		"seed-offset":    append([]byte{3}, valid...), // schedule out of phase with the stream
+		"seed-empty":     nil,
+		"seed-truncated": append([]byte{0}, valid[:len(valid)/2]...),
+		"seed-bad-bool":  append([]byte{4}, 0x07),
+		"seed-huge-len": append([]byte{6},
+			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F), // varint length far past the buffer
+	}
+	for i, off := range []int{0, len(valid) / 2, len(valid) - 1} {
+		mut := append([]byte{0}, valid...)
+		mut[1+off] ^= 0x80
+		seeds[fmt.Sprintf("seed-flip-%d", i)] = mut
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapReader")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds for FuzzSnapReader\n", len(seeds))
+}

@@ -131,6 +131,29 @@ func (r *Reader) I64() int64 {
 // Int decodes a zigzag varint as an int.
 func (r *Reader) Int() int { return int(r.I64()) }
 
+// Count decodes an element count for a restore loop and sanity-checks it
+// against the buffer: every element encodes to at least elemMin bytes, so a
+// count exceeding Remaining()/elemMin cannot come from a well-formed
+// snapshot. Restore code must size allocations and loop bounds from Count,
+// never from a bare Int — a corrupt (or hostile, CRC-valid) snapshot may
+// hold an arbitrary value where a count belongs, and failing here turns
+// that into a decode error instead of a runaway allocation.
+func (r *Reader) Count(elemMin int) int {
+	v := r.I64()
+	if r.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if v < 0 || v > int64(len(r.buf)-r.pos)/int64(elemMin) {
+		r.fail("implausible element count %d at offset %d (%d bytes remain, >=%d per element)",
+			v, r.pos, len(r.buf)-r.pos, elemMin)
+		return 0
+	}
+	return int(v)
+}
+
 // U8 decodes one raw byte.
 func (r *Reader) U8() uint8 {
 	if r.err != nil {
